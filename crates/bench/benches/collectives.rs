@@ -1,0 +1,67 @@
+//! Microbench: MPI collectives over the simulated cluster.
+//!
+//! Host-side cost of simulating one barrier / broadcast / all-to-all at a
+//! few rank counts (each iteration builds and runs a whole world — the
+//! numbers are end-to-end simulation costs, what experiment wall time is
+//! made of).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dvc_cluster::world::ClusterBuilder;
+use dvc_mpi::collectives;
+use dvc_mpi::data::{RankData, Value};
+use dvc_mpi::harness::{self, run_job};
+use dvc_sim_core::{Sim, SimTime};
+
+fn run_collective(size: usize, which: &'static str) {
+    let mut sim = Sim::new(
+        ClusterBuilder::new()
+            .nodes_per_cluster(size)
+            .perfect_clocks()
+            .build(3),
+        3,
+    );
+    let nodes = sim.world.node_ids();
+    let job = harness::launch(&mut sim, &nodes, size, 64, move |rank, size| {
+        let mut data = RankData::new();
+        let ops = match which {
+            "barrier" => collectives::barrier(rank, size, 100),
+            "bcast" => {
+                if rank == 0 {
+                    data.set("x", Value::F64Vec(vec![1.0; 4096]));
+                }
+                collectives::bcast(0, rank, size, 100, "x")
+            }
+            "alltoall" => {
+                for to in 0..size {
+                    if to != rank {
+                        data.set(format!("t.send.{to}"), Value::F64Vec(vec![1.0; 512]));
+                    }
+                }
+                collectives::alltoall(rank, size, 100, "t")
+            }
+            _ => unreachable!(),
+        };
+        (ops, data)
+    });
+    run_job(&mut sim, &job, SimTime::from_secs_f64(600.0)).expect("collective failed");
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    for which in ["barrier", "bcast", "alltoall"] {
+        for size in [8usize, 16] {
+            g.bench_function(format!("{which}_{size}r"), |b| {
+                b.iter_batched(
+                    || (),
+                    |_| run_collective(size, which),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Microbench: discrete-event engine throughput.
+//!
+//! The entire reproduction stands on `Sim<W>`; these benches track the cost
+//! of scheduling, dispatching, and cancelling events, and of the named RNG
+//! streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dvc_sim_core::{Sim, SimDuration, SimTime};
+use rand::Rng;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/dispatch");
+    for &n in &[10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("chain_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Sim::new(0u64, 1);
+                    fn tick(sim: &mut Sim<u64>) {
+                        sim.world += 1;
+                        sim.schedule_in(SimDuration::from_micros(1), tick);
+                    }
+                    sim.schedule_now(tick);
+                    sim
+                },
+                |mut sim| {
+                    sim.run_to_completion(n);
+                    assert!(sim.world >= n - 1);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    // Many pre-scheduled events at scattered times: heap behavior.
+    let mut g = c.benchmark_group("engine/fanout");
+    let n = 50_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("scattered_50k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Sim::new(0u64, 1);
+                for i in 0..n {
+                    let t = SimTime((i * 2_654_435_761) % 1_000_000_000);
+                    sim.schedule_at(t, |sim| sim.world += 1);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion(n + 1);
+                assert_eq!(sim.world, n);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cancel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/cancel");
+    let n = 50_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("schedule_then_cancel_half", |b| {
+        b.iter_batched(
+            || Sim::new(0u64, 1),
+            |mut sim| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| sim.schedule_at(SimTime(i), |sim| sim.world += 1))
+                    .collect();
+                for h in handles.iter().step_by(2) {
+                    sim.cancel(*h);
+                }
+                sim.run_to_completion(n + 1);
+                assert_eq!(sim.world, n / 2);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rng_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/rng");
+    g.bench_function("stream_lookup_and_draw", |b| {
+        let mut sim = Sim::new((), 7);
+        b.iter(|| {
+            let x: u64 = sim.rng.stream("bench.stream").gen();
+            std::hint::black_box(x)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_fanout,
+    bench_cancel,
+    bench_rng_streams
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbench: one full NTP-coordinated checkpoint cycle, end to end.
+//!
+//! Host-side wall time to simulate arm → pause → save (shared storage) →
+//! resume of an 8-VM virtual cluster running the ring workload. This is the
+//! unit of work E3 repeats >2000 times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dvc_bench::scen::{ring_load, run_cycles, settle, TrialWorld};
+use dvc_core::lsc::LscMethod;
+use dvc_sim_core::SimDuration;
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsc");
+    g.sample_size(10);
+    for (label, method) in [
+        ("ntp_cycle_8vm", LscMethod::ntp_default()),
+        ("hardened_cycle_8vm", LscMethod::hardened_default()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let tw = TrialWorld {
+                        nodes: 8,
+                        seed: 5,
+                        ..TrialWorld::default()
+                    };
+                    let (mut sim, vc_id) = tw.build();
+                    let _job = ring_load(&mut sim, vc_id, u64::MAX / 2);
+                    settle(&mut sim, SimDuration::from_secs(20));
+                    (sim, vc_id)
+                },
+                |(mut sim, vc_id)| {
+                    let outs =
+                        run_cycles(&mut sim, vc_id, method, 1, SimDuration::from_secs(1));
+                    assert!(outs[0].success);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_provision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsc/provision");
+    g.sample_size(10);
+    g.bench_function("vc_8_nodes", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let tw = TrialWorld {
+                    nodes: 8,
+                    seed: 5,
+                    ..TrialWorld::default()
+                };
+                let (sim, vc_id) = tw.build();
+                std::hint::black_box((sim.now(), vc_id));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle, bench_provision);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbench: whole-guest snapshot cost.
+//!
+//! A VM save is a deep clone of the guest (stacks + processes + rank data).
+//! This tracks the host-side cost of cloning guests whose MPI rank holds
+//! matrices of various sizes — the constant factor behind every checkpoint
+//! in every experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dvc_mpi::data::{RankData, Value};
+use dvc_mpi::runtime::MpiRuntime;
+use dvc_net::addr::VirtAddr;
+use dvc_net::tcp::TcpConfig;
+use dvc_sim_core::SimTime;
+use dvc_vmm::guest::GuestOs;
+use dvc_vmm::{OverheadProfile, Vm, VmId, VmState};
+
+fn guest_with_matrix(n: usize) -> Vm {
+    let mut guest = GuestOs::new(VirtAddr(1).into(), TcpConfig::default());
+    let mut data = RankData::new();
+    data.set("A", Value::F64Vec(vec![1.0; n * n]));
+    data.set("piv", Value::U64Vec(vec![0; n]));
+    let rt = MpiRuntime::new(0, 1, vec![VirtAddr(1).into()], 8.0, vec![], data);
+    guest.spawn("rank0", Box::new(rt));
+    let mut vm = Vm::new(VmId(0), 256, 1, OverheadProfile::PARAVIRT, guest);
+    vm.state = VmState::Running;
+    vm.pause();
+    vm
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot");
+    for n in [128usize, 512, 1024] {
+        let bytes = (n * n * 8) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        let vm = guest_with_matrix(n);
+        g.bench_function(format!("guest_clone_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(vm.snapshot(SimTime::ZERO)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot/restore_from");
+    let vm = guest_with_matrix(512);
+    let image = vm.snapshot(SimTime::ZERO);
+    g.bench_function("replace_guest_n512", |b| {
+        b.iter_batched(
+            || guest_with_matrix(512),
+            |mut target| {
+                target.restore_from(&image);
+                target
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_restore);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbench: the simulated TCP stack.
+//!
+//! Measures host-side wall time to simulate bulk transfers (clean and
+//! lossy) between two hosts — the hot path under every experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dvc_net::fabric::LinkParams;
+use dvc_net::tcp::{SockEvent, SockId, TcpConfig};
+use dvc_net::testkit::{drain, local_now, run_until, TestWorld};
+use dvc_sim_core::{Sim, SimTime};
+
+fn establish(sim: &mut Sim<TestWorld>) -> (SockId, SockId) {
+    let listener = sim.world.hosts[1].tcp.listen(7000).unwrap();
+    let now = local_now(sim);
+    let addr = sim.world.hosts[1].addr;
+    let sa = sim.world.hosts[0].tcp.connect(now, addr, 7000);
+    drain(sim, 0);
+    run_until(sim, SimTime::from_secs_f64(10.0), |sim| {
+        sim.world.hosts[1]
+            .events
+            .iter()
+            .any(|&(s, e)| s == listener && matches!(e, SockEvent::Incoming(_)))
+    });
+    let sb = sim.world.hosts[1]
+        .events
+        .iter()
+        .find_map(|&(s, e)| match e {
+            SockEvent::Incoming(n) if s == listener => Some(n),
+            _ => None,
+        })
+        .unwrap();
+    (sa, sb)
+}
+
+fn transfer(sim: &mut Sim<TestWorld>, sa: SockId, sb: SockId, total: usize) {
+    let data = vec![0xA5u8; 8192];
+    let mut sent = 0;
+    let mut received = 0;
+    while received < total {
+        if sent < total {
+            let now = local_now(sim);
+            let n = sim.world.hosts[0].tcp.send(now, sa, &data);
+            sent += n;
+            if n > 0 {
+                drain(sim, 0);
+            }
+        }
+        let avail = sim.world.hosts[1].tcp.readable_bytes(sb);
+        if avail > 0 {
+            let now = local_now(sim);
+            received += sim.world.hosts[1].tcp.recv(now, sb, avail).len();
+            drain(sim, 1);
+        }
+        if received < total {
+            assert!(sim.step(), "stalled at {received}/{total}");
+        }
+    }
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp/bulk");
+    for (label, loss) in [("clean", 0.0), ("loss_1pct", 0.01)] {
+        let total = 1 << 20;
+        g.throughput(Throughput::Bytes(total as u64));
+        g.bench_function(format!("1MiB_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Sim::new(
+                        TestWorld::new(2, LinkParams::gige_lan().with_loss(loss), TcpConfig::default()),
+                        9,
+                    );
+                    let (sa, sb) = establish(&mut sim);
+                    (sim, sa, sb)
+                },
+                |(mut sim, sa, sb)| {
+                    transfer(&mut sim, sa, sb, total);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp/handshake");
+    g.bench_function("connect_accept", |b| {
+        b.iter_batched(
+            || {
+                Sim::new(
+                    TestWorld::new(2, LinkParams::gige_lan(), TcpConfig::default()),
+                    9,
+                )
+            },
+            |mut sim| {
+                let (sa, sb) = establish(&mut sim);
+                std::hint::black_box((sa, sb));
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bulk, bench_handshake);
+criterion_main!(benches);

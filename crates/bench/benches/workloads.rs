@@ -1,0 +1,67 @@
+//! Microbench: workload arithmetic kernels (host-side numerics).
+//!
+//! These are the real matrix operations the rank programs execute; their
+//! host cost bounds how large an HPL/PTRANS configuration the experiments
+//! can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dvc_workloads::gen_a;
+
+fn bench_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/gen_a");
+    let n = 512usize;
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.bench_function("matrix_512", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    acc += gen_a(7, i, j);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Single-rank LU through the production Apply functions (program-level).
+fn lu_once(n: usize, nb: usize) -> f64 {
+    use dvc_mpi::harness::{self, run_job};
+    use dvc_sim_core::Sim;
+    let cfg = dvc_workloads::hpl::HplConfig::new(n, nb, 7);
+    let mut sim = Sim::new(
+        dvc_cluster::world::ClusterBuilder::new()
+            .nodes_per_cluster(1)
+            .perfect_clocks()
+            .build(3),
+        3,
+    );
+    let nodes = sim.world.node_ids();
+    let job = harness::launch(&mut sim, &nodes, 1, 128, move |r, s| {
+        dvc_workloads::hpl::program(cfg, r, s)
+    });
+    run_job(&mut sim, &job, dvc_sim_core::SimTime::from_secs_f64(36000.0)).unwrap();
+    harness::rank(&sim, &job, 0).data.f64("hpl.residual")
+}
+
+fn bench_hpl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/hpl");
+    g.sample_size(10);
+    for n in [128usize, 256] {
+        g.bench_function(format!("lu_n{n}_1rank"), |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    let res = lu_once(n, 16);
+                    assert!(res < 1e-10);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gen, bench_hpl);
+criterion_main!(benches);

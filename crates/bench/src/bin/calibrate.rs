@@ -1,0 +1,51 @@
+//! Calibration utility for the naive-LSC constants (DESIGN.md §2).
+//!
+//! Prints the emergent naive-coordinator failure rate and mean pause skew
+//! around the paper's knee (N = 6..12) for the current constants
+//! (`TrialWorld::cmd_median_s`, guest `max_data_retries`). Use it after
+//! touching the control-plane latency model or the TCP retry machinery to
+//! confirm the E2 curve still lands on the paper's 0/50/90% points.
+//!
+//! `cargo run --release -p dvc-bench --bin calibrate [trials]`
+
+use dvc_bench::scen::{one_cycle_trial, TrialWorld};
+use dvc_core::lsc::LscMethod;
+use dvc_sim_core::trial::run_trials;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("trials must be a number"))
+        .unwrap_or(25);
+    let tw = TrialWorld::default();
+    println!(
+        "constants: cmd_median={}s retries={} (≈{}s abort budget), {trials} trials/point",
+        tw.cmd_median_s,
+        tw.tcp_retries,
+        0.2 * ((1u64 << tw.tcp_retries) - 1) as f64,
+    );
+    println!("| nodes | failure | paper | mean skew |");
+    println!("|-------|---------|-------|-----------|");
+    for n in [6usize, 8, 10, 12] {
+        let rs = run_trials(trials, 777, 1, |_i, seed| {
+            let tw = TrialWorld {
+                nodes: n,
+                seed,
+                ..TrialWorld::default()
+            };
+            let (ok, out) = one_cycle_trial(tw, LscMethod::Naive);
+            (ok, out.map(|o| o.pause_skew.as_secs_f64()).unwrap_or(f64::NAN))
+        });
+        let fails = rs.iter().filter(|(ok, _)| !ok).count();
+        let skew: f64 = rs.iter().map(|r| r.1).sum::<f64>() / trials as f64;
+        let paper = match n {
+            10 => "50%",
+            12 => "90%",
+            _ => "~0%",
+        };
+        println!(
+            "| {n:>5} | {:>6.1}% | {paper:>5} | {skew:>8.2}s |",
+            fails as f64 / trials as f64 * 100.0
+        );
+    }
+}

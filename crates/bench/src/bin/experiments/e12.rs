@@ -1,0 +1,186 @@
+//! E12 — ablations of the design constants DESIGN.md calls out.
+//!
+//! (a) **TCP retry budget** × node count, naive coordinator: the failure
+//!     knee tracks the transport's silence tolerance — shrink the budget
+//!     and the naive approach dies earlier; grow it and the knee moves out.
+//! (b) **Clock skew tolerance**: with NTP *disabled*, scheduled-instant
+//!     checkpoints succeed as long as boot-time clock error stays below the
+//!     budget — quantifying exactly how much synchronization LSC needs
+//!     ("for LSC [a few milliseconds] is sufficient").
+//! (c) **Loaded server** (§3.1's open problem): a heavily loaded node
+//!     services its arm late; with a short lead time the late VM pauses
+//!     after everyone else. The hardened coordinator's acks catch it.
+
+use crate::Opts;
+use dvc_bench::scen::{one_cycle_trial, ring_load, ring_verdict, run_cycles, settle, TrialWorld};
+use dvc_bench::table::{pct, Table};
+use dvc_core::lsc::LscMethod;
+use dvc_sim_core::trial::run_trials;
+use dvc_sim_core::SimDuration;
+
+pub fn run(opts: Opts) {
+    println!("## E12 — ablations: budget, skew, load\n");
+    part_a(opts);
+    part_b(opts);
+    part_c(opts);
+}
+
+/// (a) retry budget × node count (naive coordinator).
+fn part_a(opts: Opts) {
+    println!("### E12a — naive failure rate vs TCP retry budget\n");
+    let trials = opts.trials(16);
+    let mut t = Table::new(&["nodes", "retries=3 (~1.4s)", "retries=4 (~3s)", "retries=5 (~6.2s)"]);
+    for &n in &[6usize, 8, 10, 12] {
+        let mut cells = vec![n.to_string()];
+        for &retries in &[3u32, 4, 5] {
+            let rs = run_trials(
+                trials,
+                opts.seed ^ 0x12A ^ (n as u64) << 8 ^ retries as u64,
+                opts.threads,
+                |_i, seed| {
+                    let tw = TrialWorld {
+                        nodes: n,
+                        seed,
+                        tcp_retries: retries,
+                        ..TrialWorld::default()
+                    };
+                    let (ok, _) = one_cycle_trial(tw, LscMethod::Naive);
+                    !ok
+                },
+            );
+            let f = rs.iter().filter(|&&x| x).count() as f64 / trials as f64;
+            cells.push(pct(f));
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "The knee of the naive curve is set by the guests' retry budget, \
+         not by anything in the coordinator — the mechanism behind the \
+         paper's 8/10/12 numbers.\n"
+    );
+}
+
+/// (b) clock error tolerance with NTP genuinely absent.
+fn part_b(opts: Opts) {
+    println!("### E12b — scheduled-instant checkpoint vs raw clock error (no NTP)\n");
+    let trials = opts.trials(16);
+    let mut t = Table::new(&["boot clock error bound", "pairwise skew (≤2×)", "cycle failure rate"]);
+    for &off_ms in &[1.0f64, 10.0, 100.0, 400.0, 1000.0, 2000.0, 4000.0] {
+        let rs = run_trials(
+            trials,
+            opts.seed ^ 0x12B ^ off_ms as u64,
+            opts.threads,
+            |_i, seed| {
+                // No NTP at all: the scheduled fire instants land wherever
+                // the raw boot-time clock errors put them.
+                let tw = TrialWorld {
+                    nodes: 10,
+                    seed,
+                    clock_offset_ms: off_ms,
+                    ntp: false,
+                    ..TrialWorld::default()
+                };
+                let (mut sim, vc_id) = tw.build();
+                let job = ring_load(&mut sim, vc_id, u64::MAX / 2);
+                settle(&mut sim, SimDuration::from_secs(15));
+                let outs = run_cycles(
+                    &mut sim,
+                    vc_id,
+                    LscMethod::ntp_default(),
+                    1,
+                    SimDuration::from_secs(1),
+                );
+                settle(&mut sim, SimDuration::from_secs(60));
+                let v = ring_verdict(&sim, &job);
+                !(outs.first().is_some_and(|o| o.success) && v.alive && v.data_ok)
+            },
+        );
+        let f = rs.iter().filter(|&&x| x).count() as f64 / trials as f64;
+        t.row(&[
+            format!("±{off_ms:.0} ms"),
+            format!("≤{:.0} ms", 2.0 * off_ms),
+            pct(f),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Millisecond-class synchronization (what NTP delivers) leaves three \
+         orders of magnitude of margin to the ~3 s transport budget; \
+         second-class skew kills checkpoints — \"network time protocols can \
+         synchronize time to within a few milliseconds … for LSC it is \
+         sufficient\".\n"
+    );
+}
+
+/// (c) heavily loaded node vs lead time: plain risks the application,
+/// hardened protects it (and declines to checkpoint when it cannot be safe).
+fn part_c(opts: Opts) {
+    println!("### E12c — loaded nodes, short arm lead times (paper §3.1's open issue)\n");
+    let trials = opts.trials(16);
+    let mut t = Table::new(&[
+        "arm lead",
+        "plain: ckpt taken",
+        "plain: app survived",
+        "hardened: ckpt taken",
+        "hardened: app survived",
+    ]);
+    for &lead_s in &[0.5f64, 1.0, 2.0, 5.0, 10.0] {
+        let mut row = vec![format!("{lead_s}s")];
+        for hardened in [false, true] {
+            let rs = run_trials(
+                trials,
+                opts.seed ^ 0x12C ^ lead_s as u64 ^ hardened as u64,
+                opts.threads,
+                |_i, seed| {
+                    // Every VC node heavily loaded AND a slow control plane:
+                    // arm dispatch latency becomes comparable to the lead.
+                    let tw = TrialWorld {
+                        nodes: 8,
+                        seed,
+                        cmd_median_s: 0.5,
+                        ..TrialWorld::default()
+                    };
+                    let (mut sim, vc_id) = tw.build();
+                    for n in 1..=8u32 {
+                        sim.world.node_mut(dvc_cluster::node::NodeId(n)).load = 0.9;
+                    }
+                    let job = ring_load(&mut sim, vc_id, u64::MAX / 2);
+                    settle(&mut sim, SimDuration::from_secs(30));
+                    let method = if hardened {
+                        LscMethod::Hardened {
+                            lead: SimDuration::from_secs_f64(lead_s),
+                            ack_guard: SimDuration::from_secs_f64(lead_s * 0.2),
+                            max_attempts: 5,
+                            verify_fraction: 0.0,
+                        }
+                    } else {
+                        LscMethod::Ntp {
+                            lead: SimDuration::from_secs_f64(lead_s),
+                        }
+                    };
+                    let outs = run_cycles(&mut sim, vc_id, method, 1, SimDuration::from_secs(1));
+                    settle(&mut sim, SimDuration::from_secs(60));
+                    let v = ring_verdict(&sim, &job);
+                    let ckpt_ok = outs.first().is_some_and(|o| o.success);
+                    (ckpt_ok, v.alive && v.data_ok)
+                },
+            );
+            let ckpt = rs.iter().filter(|r| r.0).count() as f64 / trials as f64;
+            let app = rs.iter().filter(|r| r.1).count() as f64 / trials as f64;
+            row.push(pct(ckpt));
+            row.push(pct(app));
+        }
+        t.row(&row);
+    }
+    println!("{}", t.render());
+    println!(
+        "With loaded nodes and a slow control plane, short leads make the \
+         plain coordinator fire raggedly: it always *takes* its checkpoint, \
+         but the late-pausing VMs blow the peers' transport budget and the \
+         application dies. The hardened coordinator aborts (before anything \
+         pauses) whenever arms are not all acknowledged in time — it may \
+         decline to checkpoint at infeasible leads, but the application is \
+         never harmed; given enough lead it both checkpoints and protects.\n"
+    );
+}

@@ -1,0 +1,102 @@
+//! The experiment harness: regenerates every table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p dvc-bench --bin experiments -- all
+//! cargo run --release -p dvc-bench --bin experiments -- e2 e3
+//! cargo run --release -p dvc-bench --bin experiments -- --trials 200 e2
+//! cargo run --release -p dvc-bench --bin experiments -- --quick all
+//! ```
+//!
+//! Every experiment prints a self-contained markdown section; `tee` the
+//! output to capture it for EXPERIMENTS.md.
+
+mod e1;
+mod e10;
+mod e11;
+mod e12;
+mod e2;
+mod e3;
+mod e4;
+mod e5;
+mod e6;
+mod e7;
+mod e8;
+mod e9;
+
+/// Global experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Trial multiplier: 1.0 = paper-comparable defaults.
+    pub scale: f64,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl Opts {
+    /// Scale a default trial count.
+    pub fn trials(&self, default: usize) -> usize {
+        ((default as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut seed = 20070926; // CLUSTER 2007 ;-)
+    let mut picked: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = 0.15,
+            "--trials-scale" => {
+                scale = args
+                    .next()
+                    .expect("--trials-scale <f64>")
+                    .parse()
+                    .expect("bad scale");
+            }
+            "--seed" => {
+                seed = args.next().expect("--seed <u64>").parse().expect("bad seed");
+            }
+            "all" => picked.extend(dvc_bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            e if dvc_bench::ALL_EXPERIMENTS.contains(&e) => picked.push(e.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: experiments [--quick] [--trials-scale X] [--seed S] <e1..e12|all>...");
+                std::process::exit(2);
+            }
+        }
+    }
+    if picked.is_empty() {
+        picked.extend(dvc_bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    picked.dedup();
+
+    let opts = Opts {
+        scale,
+        seed,
+        threads: dvc_sim_core::trial::default_threads(),
+    };
+    println!(
+        "# DVC experiment run (seed {seed}, trial scale {scale}, {} threads)\n",
+        opts.threads
+    );
+    for e in picked {
+        let t0 = std::time::Instant::now();
+        match e.as_str() {
+            "e1" => e1::run(opts),
+            "e2" => e2::run(opts),
+            "e3" => e3::run(opts),
+            "e4" => e4::run(opts),
+            "e5" => e5::run(opts),
+            "e6" => e6::run(opts),
+            "e7" => e7::run(opts),
+            "e8" => e8::run(opts),
+            "e9" => e9::run(opts),
+            "e10" => e10::run(opts),
+            "e11" => e11::run(opts),
+            "e12" => e12::run(opts),
+            _ => unreachable!(),
+        }
+        println!("_({e} took {:.1}s wall)_\n", t0.elapsed().as_secs_f64());
+    }
+}

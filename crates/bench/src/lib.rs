@@ -1,0 +1,16 @@
+//! # dvc-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper (see DESIGN.md §4 for the experiment index), plus shared scenario
+//! builders used by the Criterion microbenches.
+//!
+//! Run everything: `cargo run --release -p dvc-bench --bin experiments -- all`
+//! Run one:        `cargo run --release -p dvc-bench --bin experiments -- e2`
+
+pub mod scen;
+pub mod table;
+
+/// Experiment ids in canonical order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];

@@ -1,0 +1,111 @@
+//! The out-of-band management network.
+//!
+//! Checkpoint coordinators talk to per-node agents over a control plane
+//! (think: the head node ssh-ing / RPC-ing into dom0s). Two operations are
+//! modelled, both with heavy-tailed (log-normal) latency scaled by the
+//! target node's background load — the mechanism behind the naive LSC
+//! approach's poor scaling:
+//!
+//! * [`open_delay`] — establishing a terminal connection to a node;
+//! * [`cmd_delay`]  — dispatching one command and having the remote side
+//!   begin executing it.
+//!
+//! [`ctrl_call`] composes a sampled delay with an action that runs on the
+//! target node (it silently vanishes if the node crashed meanwhile, like a
+//! TCP session to a dead host).
+
+use crate::node::NodeId;
+use crate::world::ClusterWorld;
+use dvc_sim_core::rng::lognormal_sample;
+use dvc_sim_core::{Sim, SimDuration};
+
+/// Sample the latency of opening a terminal connection to `node`.
+pub fn open_delay(sim: &mut Sim<ClusterWorld>, node: NodeId) -> SimDuration {
+    let cfg = sim.world.cfg.ctrl;
+    let load = sim.world.node(node).load;
+    let rng = sim.rng.stream("ctrl.open");
+    let s = lognormal_sample(rng, cfg.open_mu, cfg.open_sigma);
+    SimDuration::from_secs_f64(cfg.base_latency_s + s * (1.0 + 3.0 * load))
+}
+
+/// Sample the latency of dispatching a command to `node`.
+pub fn cmd_delay(sim: &mut Sim<ClusterWorld>, node: NodeId) -> SimDuration {
+    let cfg = sim.world.cfg.ctrl;
+    let load = sim.world.node(node).load;
+    let rng = sim.rng.stream("ctrl.cmd");
+    let s = lognormal_sample(rng, cfg.cmd_mu, cfg.cmd_sigma);
+    SimDuration::from_secs_f64(cfg.base_latency_s + s * (1.0 + 3.0 * load))
+}
+
+/// Run `action` on `node` after `delay`, unless the node is down by then.
+pub fn ctrl_call(
+    sim: &mut Sim<ClusterWorld>,
+    node: NodeId,
+    delay: SimDuration,
+    action: impl FnOnce(&mut Sim<ClusterWorld>) + 'static,
+) {
+    sim.schedule_in(delay, move |sim| {
+        if sim.world.node(node).up {
+            action(sim);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ClusterBuilder;
+
+    fn sim() -> Sim<ClusterWorld> {
+        Sim::new(ClusterBuilder::new().nodes_per_cluster(4).build(5), 5)
+    }
+
+    #[test]
+    fn delays_are_positive_and_heavy_tailed() {
+        let mut sim = sim();
+        let mut ds: Vec<f64> = (0..2000)
+            .map(|_| open_delay(&mut sim, NodeId(1)).as_secs_f64())
+            .collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ds[ds.len() / 2];
+        let p99 = ds[(ds.len() as f64 * 0.99) as usize];
+        assert!(median > 0.3 && median < 1.0, "median {median}");
+        assert!(p99 > 2.0 * median, "tail too light: p99 {p99} median {median}");
+    }
+
+    #[test]
+    fn load_inflates_latency() {
+        let mut sim = sim();
+        let base: f64 = (0..500)
+            .map(|_| cmd_delay(&mut sim, NodeId(1)).as_secs_f64())
+            .sum::<f64>()
+            / 500.0;
+        sim.world.node_mut(NodeId(2)).load = 0.8;
+        let loaded: f64 = (0..500)
+            .map(|_| cmd_delay(&mut sim, NodeId(2)).as_secs_f64())
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            loaded > base * 2.0,
+            "load 0.8 should ~3.4× latency: {base} -> {loaded}"
+        );
+    }
+
+    #[test]
+    fn ctrl_call_runs_unless_node_died() {
+        let mut sim = sim();
+        sim.world.ext.insert(0u64);
+        ctrl_call(&mut sim, NodeId(1), SimDuration::from_secs(1), |sim| {
+            *sim.world.ext.get_mut::<u64>().unwrap() += 1;
+        });
+        ctrl_call(&mut sim, NodeId(2), SimDuration::from_secs(1), |sim| {
+            *sim.world.ext.get_mut::<u64>().unwrap() += 10;
+        });
+        // Node 2 dies before the command lands.
+        sim.schedule_in(SimDuration::from_millis(500), |sim| {
+            sim.world.node_mut(NodeId(2)).up = false;
+        });
+        sim.run_to_completion(100);
+        assert_eq!(*sim.world.ext.get::<u64>().unwrap(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dvc-cluster
+//!
+//! The physical multi-cluster testbed, as one concrete simulation world.
+//!
+//! This crate glues every substrate together into [`world::ClusterWorld`]:
+//!
+//! * [`node`] — physical nodes: CPU speed, memory, a drifting hardware
+//!   clock, a dom0 UDP endpoint, background load, hosted domains.
+//! * [`world`] — the world type + [`builder`](world::ClusterBuilder) that
+//!   lays out clusters of nodes behind per-cluster switches with optional
+//!   inter-cluster trunks (the paper's Figure-1 topology).
+//! * [`glue`] — the hypervisor/host glue: packet delivery into guests,
+//!   draining guest stack outputs, process poll scheduling with epoch
+//!   guards, VM pause/resume/save/restore including watchdog and timer
+//!   semantics across the wall-clock jump.
+//! * [`storage`] — the shared checkpoint filesystem: a processor-sharing
+//!   bandwidth model, so 26 simultaneous VM saves contend realistically.
+//! * [`ntp`] — `ntpd` on every node polling the head-node server over
+//!   simulated UDP, driving each node's clock discipline.
+//! * [`control`] — the out-of-band management network used by checkpoint
+//!   coordinators: terminal-connection opens and command dispatches with
+//!   load-sensitive, heavy-tailed latency (the naive-LSC failure source).
+//! * [`failure`] — node crash/repair injection and MTBF-driven failure
+//!   processes.
+//! * [`rm`] — a Torque/Moab-flavoured resource manager: FIFO queue with
+//!   EASY backfill, node allocation (single-cluster or spanning), job
+//!   lifecycle.
+//! * [`ext`] — a small type-map so higher layers (dvc-core) can stash their
+//!   coordinator state inside the world without this crate knowing about it.
+
+pub mod control;
+pub mod ext;
+pub mod failure;
+pub mod glue;
+pub mod node;
+pub mod ntp;
+pub mod rm;
+pub mod storage;
+pub mod world;
+
+pub use node::{ClusterId, Node, NodeId};
+pub use world::{ClusterBuilder, ClusterWorld, WorldConfig};

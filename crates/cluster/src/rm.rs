@@ -1,0 +1,453 @@
+//! The resource manager: a Torque/Moab-flavoured batch scheduler.
+//!
+//! FIFO queue with EASY backfill, node allocation that can stay within one
+//! cluster or span clusters (DVC goal 3), and failure bookkeeping. The
+//! paper's §4 names "integration with resource managers and schedulers like
+//! Torque and Moab" as required future work — this module plus
+//! `dvc-core::reliability` is that integration.
+
+use crate::node::{ClusterId, NodeId};
+use crate::world::ClusterWorld;
+use dvc_sim_core::{Sim, SimDuration, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Batch job identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+/// Where a job's nodes may come from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// All nodes from any *single* cluster.
+    SingleCluster,
+    /// All nodes from the given cluster.
+    Cluster(ClusterId),
+    /// Nodes may span clusters (requires DVC to homogenize the stack).
+    AllowSpan,
+}
+
+/// A job request.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub name: String,
+    pub nodes: usize,
+    /// User walltime estimate (drives backfill reservations).
+    pub est_duration: SimDuration,
+    pub placement: Placement,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobState {
+    Queued,
+    Running,
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+/// A job record.
+#[derive(Clone, Debug)]
+pub struct Job {
+    pub id: JobId,
+    pub spec: JobSpec,
+    pub state: JobState,
+    pub submitted: SimTime,
+    pub started: Option<SimTime>,
+    pub finished: Option<SimTime>,
+    pub assigned: Vec<NodeId>,
+}
+
+type Launcher = Box<dyn FnOnce(&mut Sim<ClusterWorld>, JobId, Vec<NodeId>)>;
+
+/// Scheduler state (a field of the world).
+pub struct ResourceManager {
+    pub jobs: HashMap<JobId, Job>,
+    queue: VecDeque<JobId>,
+    busy: HashSet<NodeId>,
+    launchers: HashMap<JobId, Launcher>,
+    next_id: u64,
+    /// Enable EASY backfill (on by default).
+    pub backfill: bool,
+    /// Jobs that lost a node to a crash, for the reliability layer.
+    pub failed_by_node_loss: Vec<JobId>,
+}
+
+impl Default for ResourceManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceManager {
+    pub fn new() -> Self {
+        ResourceManager {
+            jobs: HashMap::new(),
+            queue: VecDeque::new(),
+            busy: HashSet::new(),
+            launchers: HashMap::new(),
+            next_id: 1,
+            backfill: true,
+            failed_by_node_loss: Vec::new(),
+        }
+    }
+
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn busy_nodes(&self) -> usize {
+        self.busy.len()
+    }
+
+    pub fn is_busy(&self, n: NodeId) -> bool {
+        self.busy.contains(&n)
+    }
+
+    /// Called when a node crashes: running jobs that used it fail.
+    pub fn note_node_down(&mut self, node: NodeId) {
+        self.busy.remove(&node);
+        let victims: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running && j.assigned.contains(&node))
+            .map(|j| j.id)
+            .collect();
+        for id in victims {
+            if let Some(j) = self.jobs.get_mut(&id) {
+                j.state = JobState::Failed;
+                for n in &j.assigned {
+                    self.busy.remove(n);
+                }
+            }
+            self.failed_by_node_loss.push(id);
+        }
+    }
+
+    pub fn note_node_up(&mut self, _node: NodeId) {
+        // Nothing to do eagerly; the next try_schedule will see it free.
+    }
+}
+
+/// Submit a job; `launcher` runs when the scheduler starts it.
+pub fn submit(
+    sim: &mut Sim<ClusterWorld>,
+    spec: JobSpec,
+    launcher: impl FnOnce(&mut Sim<ClusterWorld>, JobId, Vec<NodeId>) + 'static,
+) -> JobId {
+    let now = sim.now();
+    let rm = &mut sim.world.rm;
+    let id = JobId(rm.next_id);
+    rm.next_id += 1;
+    rm.jobs.insert(
+        id,
+        Job {
+            id,
+            spec,
+            state: JobState::Queued,
+            submitted: now,
+            started: None,
+            finished: None,
+            assigned: Vec::new(),
+        },
+    );
+    rm.queue.push_back(id);
+    rm.launchers.insert(id, Box::new(launcher));
+    try_schedule(sim);
+    id
+}
+
+/// Free nodes (up and not busy), per cluster.
+fn free_by_cluster(world: &ClusterWorld) -> Vec<Vec<NodeId>> {
+    world
+        .clusters
+        .iter()
+        .map(|c| {
+            c.nodes
+                .iter()
+                .copied()
+                .filter(|&n| world.node(n).up && !world.rm.busy.contains(&n))
+                .collect()
+        })
+        .collect()
+}
+
+/// Try to allocate nodes for a spec from the current free set.
+fn allocate(world: &ClusterWorld, spec: &JobSpec) -> Option<Vec<NodeId>> {
+    let free = free_by_cluster(world);
+    match spec.placement {
+        Placement::Cluster(c) => {
+            let f = &free[c.0 as usize];
+            (f.len() >= spec.nodes).then(|| f[..spec.nodes].to_vec())
+        }
+        Placement::SingleCluster => free
+            .iter()
+            .find(|f| f.len() >= spec.nodes)
+            .map(|f| f[..spec.nodes].to_vec()),
+        Placement::AllowSpan => {
+            let total: usize = free.iter().map(|f| f.len()).sum();
+            if total < spec.nodes {
+                return None;
+            }
+            // Prefer a single cluster; otherwise take greedily from the
+            // fullest clusters to minimize the span.
+            if let Some(f) = free.iter().find(|f| f.len() >= spec.nodes) {
+                return Some(f[..spec.nodes].to_vec());
+            }
+            let mut order: Vec<&Vec<NodeId>> = free.iter().collect();
+            order.sort_by_key(|f| std::cmp::Reverse(f.len()));
+            let mut out = Vec::with_capacity(spec.nodes);
+            for f in order {
+                for &n in f {
+                    if out.len() == spec.nodes {
+                        break;
+                    }
+                    out.push(n);
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Scheduling pass: FIFO head first; EASY backfill behind a blocked head.
+pub fn try_schedule(sim: &mut Sim<ClusterWorld>) {
+    loop {
+        let Some(&head) = sim.world.rm.queue.front() else {
+            return;
+        };
+        let spec = sim.world.rm.jobs[&head].spec.clone();
+        if let Some(nodes) = allocate(&sim.world, &spec) {
+            sim.world.rm.queue.pop_front();
+            start_job(sim, head, nodes);
+            continue;
+        }
+        // Head is blocked: EASY backfill behind its reservation.
+        if sim.world.rm.backfill {
+            backfill_pass(sim, head, &spec);
+        }
+        return;
+    }
+}
+
+/// EASY backfill: compute the head job's shadow time (earliest instant its
+/// allocation fits, assuming running jobs end at their estimates), then
+/// start any later queued job that fits now without pushing the head past
+/// its shadow time.
+fn backfill_pass(sim: &mut Sim<ClusterWorld>, _head: JobId, head_spec: &JobSpec) {
+    let now = sim.now();
+    // Free count now and release schedule of running jobs.
+    let free_now: usize = free_by_cluster(&sim.world).iter().map(|f| f.len()).sum();
+    let mut releases: Vec<(SimTime, usize)> = sim
+        .world
+        .rm
+        .jobs
+        .values()
+        .filter(|j| j.state == JobState::Running)
+        .map(|j| {
+            let end = j.started.unwrap_or(now) + j.spec.est_duration;
+            (end.max(now), j.assigned.len())
+        })
+        .collect();
+    releases.sort();
+    let mut avail = free_now;
+    let mut shadow = SimTime::NEVER;
+    let mut avail_at_shadow = 0usize;
+    for (t, n) in releases {
+        avail += n;
+        if avail >= head_spec.nodes {
+            shadow = t;
+            avail_at_shadow = avail;
+            break;
+        }
+    }
+    // Nodes spare even after the head starts at shadow time.
+    let extra = avail_at_shadow.saturating_sub(head_spec.nodes);
+
+    let candidates: Vec<JobId> = sim.world.rm.queue.iter().skip(1).copied().collect();
+    for cand in candidates {
+        let spec = sim.world.rm.jobs[&cand].spec.clone();
+        let fits_now = allocate(&sim.world, &spec);
+        let Some(nodes) = fits_now else { continue };
+        let ends_before_shadow = now + spec.est_duration <= shadow;
+        let within_extra = spec.nodes <= extra;
+        if ends_before_shadow || within_extra {
+            sim.world.rm.queue.retain(|&j| j != cand);
+            start_job(sim, cand, nodes);
+        }
+    }
+}
+
+fn start_job(sim: &mut Sim<ClusterWorld>, id: JobId, nodes: Vec<NodeId>) {
+    let now = sim.now();
+    {
+        let rm = &mut sim.world.rm;
+        let j = rm.jobs.get_mut(&id).expect("starting unknown job");
+        j.state = JobState::Running;
+        j.started = Some(now);
+        j.assigned = nodes.clone();
+        for &n in &nodes {
+            rm.busy.insert(n);
+        }
+    }
+    if let Some(launcher) = sim.world.rm.launchers.remove(&id) {
+        launcher(sim, id, nodes);
+    }
+}
+
+/// Mark a job finished (success or failure), free its nodes, reschedule.
+pub fn complete_job(sim: &mut Sim<ClusterWorld>, id: JobId, success: bool) {
+    let now = sim.now();
+    {
+        let rm = &mut sim.world.rm;
+        let Some(j) = rm.jobs.get_mut(&id) else { return };
+        if j.state != JobState::Running {
+            return;
+        }
+        j.state = if success {
+            JobState::Completed
+        } else {
+            JobState::Failed
+        };
+        j.finished = Some(now);
+        let assigned = j.assigned.clone();
+        for n in assigned {
+            rm.busy.remove(&n);
+        }
+    }
+    try_schedule(sim);
+}
+
+/// Cancel a queued job.
+pub fn cancel_job(sim: &mut Sim<ClusterWorld>, id: JobId) {
+    let rm = &mut sim.world.rm;
+    if let Some(j) = rm.jobs.get_mut(&id) {
+        if j.state == JobState::Queued {
+            j.state = JobState::Cancelled;
+            rm.queue.retain(|&q| q != id);
+            rm.launchers.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ClusterBuilder;
+
+    fn sim(clusters: usize, nodes: usize) -> Sim<ClusterWorld> {
+        Sim::new(
+            ClusterBuilder::new()
+                .clusters(clusters)
+                .nodes_per_cluster(nodes)
+                .build(11),
+            11,
+        )
+    }
+
+    fn spec(nodes: usize, est_s: u64, placement: Placement) -> JobSpec {
+        JobSpec {
+            name: format!("job{nodes}"),
+            nodes,
+            est_duration: SimDuration::from_secs(est_s),
+            placement,
+        }
+    }
+
+    /// Record (job, started-at, node-count) into ext.
+    fn recording_launcher() -> impl FnOnce(&mut Sim<ClusterWorld>, JobId, Vec<NodeId>) {
+        |sim, id, nodes| {
+            let t = sim.now().as_secs_f64();
+            sim.world
+                .ext
+                .get_or_default::<Vec<(JobId, f64, usize)>>()
+                .push((id, t, nodes.len()));
+        }
+    }
+
+    #[test]
+    fn fifo_start_and_completion_frees_nodes() {
+        let mut sim = sim(1, 4);
+        let a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        let b = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        assert_eq!(sim.world.rm.job(a).unwrap().state, JobState::Running);
+        assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Queued);
+        complete_job(&mut sim, a, true);
+        assert_eq!(sim.world.rm.job(a).unwrap().state, JobState::Completed);
+        assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Running);
+        assert_eq!(sim.world.rm.busy_nodes(), 3);
+    }
+
+    #[test]
+    fn easy_backfill_starts_small_job_behind_blocked_head() {
+        let mut sim = sim(1, 4);
+        // A takes 3 nodes for 100 s; head B needs 4 (blocked); C needs 1
+        // node for 10 s → backfills into the idle node.
+        let _a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        let b = submit(&mut sim, spec(4, 50, Placement::SingleCluster), recording_launcher());
+        let c = submit(&mut sim, spec(1, 10, Placement::SingleCluster), recording_launcher());
+        assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Queued);
+        assert_eq!(
+            sim.world.rm.job(c).unwrap().state,
+            JobState::Running,
+            "C should backfill"
+        );
+        assert_eq!(sim.world.rm.busy_nodes(), 4);
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head() {
+        let mut sim = sim(1, 4);
+        // A: 3 nodes, ends at t=100 (shadow for the 4-node head B).
+        // C wants the idle node for 200 s — starting it would push B.
+        let _a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        let b = submit(&mut sim, spec(4, 50, Placement::SingleCluster), recording_launcher());
+        let c = submit(&mut sim, spec(1, 200, Placement::SingleCluster), recording_launcher());
+        assert_eq!(sim.world.rm.job(c).unwrap().state, JobState::Queued);
+        assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn single_cluster_placement_rejects_fragmented_space() {
+        let mut sim = sim(2, 4);
+        // Occupy 2 nodes in each cluster: 4 free total, max 2 contiguous.
+        let _fill1 = submit(&mut sim, spec(2, 100, Placement::Cluster(ClusterId(0))), recording_launcher());
+        let _fill2 = submit(&mut sim, spec(2, 100, Placement::Cluster(ClusterId(1))), recording_launcher());
+        let narrow = submit(&mut sim, spec(3, 10, Placement::SingleCluster), recording_launcher());
+        let wide = submit(&mut sim, spec(3, 10, Placement::AllowSpan), recording_launcher());
+        assert_eq!(sim.world.rm.job(narrow).unwrap().state, JobState::Queued);
+        // AllowSpan backfills across the two clusters.
+        assert_eq!(sim.world.rm.job(wide).unwrap().state, JobState::Running);
+        let w = sim.world.rm.job(wide).unwrap();
+        let c0: usize = w
+            .assigned
+            .iter()
+            .filter(|&&n| sim.world.node(n).cluster == ClusterId(0))
+            .count();
+        assert!(c0 > 0 && c0 < 3, "must actually span: {c0} in cluster 0");
+    }
+
+    #[test]
+    fn node_crash_fails_running_jobs_and_frees_the_rest() {
+        let mut sim = sim(1, 4);
+        let a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        let victim = sim.world.rm.job(a).unwrap().assigned[0];
+        crate::failure::crash_node(&mut sim, victim);
+        assert_eq!(sim.world.rm.job(a).unwrap().state, JobState::Failed);
+        assert_eq!(sim.world.rm.failed_by_node_loss, vec![a]);
+        assert_eq!(sim.world.rm.busy_nodes(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_queued_job() {
+        let mut sim = sim(1, 2);
+        let _a = submit(&mut sim, spec(2, 100, Placement::SingleCluster), recording_launcher());
+        let b = submit(&mut sim, spec(2, 100, Placement::SingleCluster), recording_launcher());
+        cancel_job(&mut sim, b);
+        assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Cancelled);
+        assert_eq!(sim.world.rm.queued_count(), 0);
+    }
+}

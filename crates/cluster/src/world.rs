@@ -1,0 +1,386 @@
+//! The concrete simulation world: clusters of nodes, VMs, fabric, storage.
+
+use crate::ext::Extensions;
+use crate::node::{ClusterId, Node, NodeId};
+use crate::rm::ResourceManager;
+use crate::storage::SharedStorage;
+use dvc_net::addr::{PhysAddr, VirtAddr};
+use dvc_net::fabric::{Fabric, LinkParams, NetWorld, SwitchId};
+use dvc_net::packet::Packet;
+use dvc_net::tcp::TcpConfig;
+use dvc_net::NicId;
+use dvc_sim_core::Sim;
+use dvc_time::clock::HwClock;
+use dvc_vmm::{OverheadProfile, Vm, VmId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Control-channel latency model (see `control.rs` for semantics).
+#[derive(Clone, Copy, Debug)]
+pub struct ControlCfg {
+    /// Log-normal μ/σ of a terminal-connection *open* (seconds).
+    pub open_mu: f64,
+    pub open_sigma: f64,
+    /// Log-normal μ/σ of command dispatch + remote service (seconds).
+    pub cmd_mu: f64,
+    pub cmd_sigma: f64,
+    /// Fixed floor added to every control exchange (seconds).
+    pub base_latency_s: f64,
+}
+
+impl Default for ControlCfg {
+    fn default() -> Self {
+        // Calibrated so serialized terminal fan-out reproduces the paper's
+        // naive-LSC failure curve (DESIGN.md §2): e^0.55 ≈ 0.58 s median
+        // per-connection open, heavy upper tail.
+        ControlCfg {
+            open_mu: (0.55f64).ln(),
+            open_sigma: 0.55,
+            cmd_mu: (0.35f64).ln(),
+            cmd_sigma: 0.45,
+            base_latency_s: 0.02,
+        }
+    }
+}
+
+/// World-wide configuration knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    pub guest_tcp: TcpConfig,
+    /// Guest watchdog period, ns.
+    pub watchdog_period_ns: i64,
+    pub default_vm_mem_mb: u32,
+    pub vm_overhead: OverheadProfile,
+    pub ctrl: ControlCfg,
+    /// Boot-time clock offsets are uniform in ±this many ms.
+    pub clock_max_offset_ms: f64,
+    /// Oscillator drift σ, ppm.
+    pub clock_drift_sigma_ppm: f64,
+    pub node_gflops: f64,
+    pub node_mem_mb: u32,
+    /// Native per-packet guest ingress processing cost, ns. The guest pays
+    /// `net_pkt_base_ns × net_factor` of serialized processing per packet;
+    /// when that exceeds the wire's per-packet serialization (~12 µs for a
+    /// full GigE frame), receive processing becomes the bottleneck — the
+    /// Xen-era "DomU can't saturate GigE" effect.
+    pub net_pkt_base_ns: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            guest_tcp: TcpConfig::default(),
+            watchdog_period_ns: 30_000_000_000,
+            default_vm_mem_mb: 256,
+            vm_overhead: OverheadProfile::PARAVIRT,
+            ctrl: ControlCfg::default(),
+            clock_max_offset_ms: 250.0,
+            clock_drift_sigma_ppm: 30.0,
+            node_gflops: 8.0, // 2007-era dual-core node
+            node_mem_mb: 4096,
+            net_pkt_base_ns: 6_000,
+        }
+    }
+}
+
+/// Static description of one cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterInfo {
+    pub id: ClusterId,
+    pub switch: SwitchId,
+    pub nodes: Vec<NodeId>,
+}
+
+/// The whole simulated testbed.
+pub struct ClusterWorld {
+    pub cfg: WorldConfig,
+    pub nodes: Vec<Node>,
+    pub clusters: Vec<ClusterInfo>,
+    /// Domains by VmId index (`None` after destruction).
+    pub vms: Vec<Option<Vm>>,
+    /// Current placement of each live domain.
+    pub vm_host: HashMap<VmId, NodeId>,
+    /// Virtual address → domain (the DVC overlay's directory).
+    pub vaddr_vm: HashMap<VirtAddr, VmId>,
+    pub fabric: Fabric,
+    pub storage: SharedStorage,
+    pub rm: ResourceManager,
+    /// Layer-private state from `dvc-core` and experiment harnesses.
+    pub ext: Extensions,
+    /// Head node: NTP server, control-plane origin.
+    pub head: NodeId,
+    /// Reverse map NIC → owning node (packet delivery dispatch).
+    pub nic_node: HashMap<NicId, NodeId>,
+    next_vaddr: u32,
+}
+
+impl ClusterWorld {
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(id.0 as usize).and_then(|v| v.as_ref())
+    }
+
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        self.vms.get_mut(id.0 as usize).and_then(|v| v.as_mut())
+    }
+
+    pub fn alloc_vaddr(&mut self) -> VirtAddr {
+        let a = VirtAddr(self.next_vaddr);
+        self.next_vaddr += 1;
+        a
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId).collect()
+    }
+
+    /// Nodes of one cluster.
+    pub fn cluster_nodes(&self, c: ClusterId) -> &[NodeId] {
+        &self.clusters[c.0 as usize].nodes
+    }
+
+    /// Count of live (placed, not Dead) domains.
+    pub fn live_vm_count(&self) -> usize {
+        self.vms
+            .iter()
+            .flatten()
+            .filter(|v| !matches!(v.state, dvc_vmm::VmState::Dead))
+            .count()
+    }
+}
+
+impl NetWorld for ClusterWorld {
+    fn fabric(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+    fn deliver(sim: &mut Sim<Self>, nic: NicId, pkt: Packet) {
+        crate::glue::deliver(sim, nic, pkt);
+    }
+}
+
+/// Builds a multi-cluster world: one switch per cluster, nodes behind LAN
+/// edges, cluster switches joined to cluster 0 by WAN-ish trunks, shared
+/// storage attached at the head.
+pub struct ClusterBuilder {
+    n_clusters: usize,
+    nodes_per_cluster: usize,
+    lan: LinkParams,
+    wan: LinkParams,
+    storage_agg_bps: f64,
+    storage_stream_bps: f64,
+    cfg: WorldConfig,
+    perfect_clocks: bool,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    pub fn new() -> Self {
+        ClusterBuilder {
+            n_clusters: 1,
+            nodes_per_cluster: 4,
+            lan: LinkParams::gige_lan(),
+            wan: LinkParams::campus_wan(),
+            storage_agg_bps: 400.0e6,
+            storage_stream_bps: 110.0e6,
+            cfg: WorldConfig::default(),
+            perfect_clocks: false,
+        }
+    }
+
+    pub fn clusters(mut self, n: usize) -> Self {
+        self.n_clusters = n.max(1);
+        self
+    }
+
+    pub fn nodes_per_cluster(mut self, n: usize) -> Self {
+        self.nodes_per_cluster = n.max(1);
+        self
+    }
+
+    pub fn lan(mut self, p: LinkParams) -> Self {
+        self.lan = p;
+        self
+    }
+
+    pub fn wan(mut self, p: LinkParams) -> Self {
+        self.wan = p;
+        self
+    }
+
+    pub fn storage(mut self, agg_bps: f64, stream_bps: f64) -> Self {
+        self.storage_agg_bps = agg_bps;
+        self.storage_stream_bps = stream_bps;
+        self
+    }
+
+    pub fn config(mut self, cfg: WorldConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    pub fn tweak(mut self, f: impl FnOnce(&mut WorldConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Disable clock imperfections (tests that don't exercise NTP).
+    pub fn perfect_clocks(mut self) -> Self {
+        self.perfect_clocks = true;
+        self
+    }
+
+    pub fn build(self, seed: u64) -> ClusterWorld {
+        let mut rng = SmallRng::seed_from_u64(dvc_sim_core::rng::splitmix64(seed ^ 0xC10C));
+        let mut fabric = Fabric::new();
+        let mut nodes = Vec::new();
+        let mut clusters = Vec::new();
+
+        let mut switches = Vec::new();
+        for _ in 0..self.n_clusters {
+            switches.push(fabric.add_switch());
+        }
+        for c in 1..self.n_clusters {
+            fabric.connect_switches(switches[0], switches[c], self.wan);
+        }
+
+        for c in 0..self.n_clusters {
+            let mut members = Vec::new();
+            for _ in 0..self.nodes_per_cluster {
+                let id = NodeId(nodes.len() as u32);
+                let addr = PhysAddr(id.0);
+                let nic = fabric.add_nic(switches[c], self.lan);
+                fabric.bind(addr.into(), nic);
+                let clock = if self.perfect_clocks {
+                    HwClock::perfect()
+                } else {
+                    HwClock::random(
+                        &mut rng,
+                        self.cfg.clock_max_offset_ms,
+                        self.cfg.clock_drift_sigma_ppm,
+                    )
+                };
+                nodes.push(Node::new(
+                    id,
+                    ClusterId(c as u32),
+                    addr,
+                    nic,
+                    self.cfg.node_gflops,
+                    self.cfg.node_mem_mb,
+                    clock,
+                ));
+                members.push(id);
+            }
+            clusters.push(ClusterInfo {
+                id: ClusterId(c as u32),
+                switch: switches[c],
+                nodes: members,
+            });
+        }
+
+        let nic_node = nodes.iter().map(|n| (n.nic, n.id)).collect();
+        ClusterWorld {
+            cfg: self.cfg,
+            nodes,
+            clusters,
+            vms: Vec::new(),
+            vm_host: HashMap::new(),
+            vaddr_vm: HashMap::new(),
+            fabric,
+            storage: SharedStorage::new(self.storage_agg_bps, self.storage_stream_bps),
+            rm: ResourceManager::new(),
+            ext: Extensions::new(),
+            head: NodeId(0),
+            nic_node,
+            next_vaddr: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_lays_out_multi_cluster_topology() {
+        let w = ClusterBuilder::new()
+            .clusters(3)
+            .nodes_per_cluster(4)
+            .build(1);
+        assert_eq!(w.nodes.len(), 12);
+        assert_eq!(w.clusters.len(), 3);
+        assert_eq!(w.cluster_nodes(ClusterId(2)).len(), 4);
+        // Every node's address resolves on the fabric.
+        for n in &w.nodes {
+            assert_eq!(w.fabric.lookup(n.addr.into()), Some(n.nic));
+        }
+        // Node→cluster assignment is consistent.
+        for (c, info) in w.clusters.iter().enumerate() {
+            for &nid in &info.nodes {
+                assert_eq!(w.node(nid).cluster.0 as usize, c);
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_are_imperfect_by_default_and_perfect_on_request() {
+        let w = ClusterBuilder::new().nodes_per_cluster(8).build(3);
+        let worst = w
+            .nodes
+            .iter()
+            .map(|n| n.clock.error_ns(dvc_sim_core::SimTime::ZERO).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 0.0, "expected imperfect clocks");
+        assert!(worst <= 250.0e6);
+
+        let w = ClusterBuilder::new()
+            .nodes_per_cluster(8)
+            .perfect_clocks()
+            .build(3);
+        for n in &w.nodes {
+            assert_eq!(n.clock.error_ns(dvc_sim_core::SimTime::ZERO), 0.0);
+        }
+    }
+
+    #[test]
+    fn vaddr_allocation_is_sequential() {
+        let mut w = ClusterBuilder::new().build(1);
+        assert_eq!(w.alloc_vaddr(), VirtAddr(0));
+        assert_eq!(w.alloc_vaddr(), VirtAddr(1));
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = ClusterBuilder::new().nodes_per_cluster(6).build(9);
+        let b = ClusterBuilder::new().nodes_per_cluster(6).build(9);
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(
+                x.clock.error_ns(dvc_sim_core::SimTime::ZERO),
+                y.clock.error_ns(dvc_sim_core::SimTime::ZERO)
+            );
+        }
+        let c = ClusterBuilder::new().nodes_per_cluster(6).build(10);
+        let same = a
+            .nodes
+            .iter()
+            .zip(&c.nodes)
+            .all(|(x, y)| {
+                x.clock.error_ns(dvc_sim_core::SimTime::ZERO)
+                    == y.clock.error_ns(dvc_sim_core::SimTime::ZERO)
+            });
+        assert!(!same, "different seeds must differ");
+    }
+}

@@ -1,0 +1,40 @@
+//! # dvc-core — Dynamic Virtual Clustering
+//!
+//! The paper's contribution: virtual clusters over physical clusters, with
+//! **Lazy Synchronous Checkpointing (LSC)** for completely transparent
+//! parallel checkpoint / restore / migration.
+//!
+//! * [`vc`] — virtual-cluster lifecycle: provisioning (image staging over
+//!   shared storage, boot), the three mapping modes of the paper's Figure 1
+//!   (direct, subset, spanning multiple clusters), teardown, and the
+//!   checkpoint-set store.
+//! * [`lsc`] — the checkpoint coordinators:
+//!   - **naive** (paper §3.1): serialized terminal fan-out whose dispatch
+//!     skew grows linearly with node count — failures *emerge* when the
+//!     first-paused guest's peers exhaust their TCP retry budget;
+//!   - **NTP-scheduled** (paper §3.1, the working prototype): agents armed
+//!     ahead of time fire `vm save` at a shared local-clock instant, so
+//!     pause skew collapses to residual clock error (milliseconds);
+//!   - **hardened** (paper §4 future work): arm acknowledgements, pre-fire
+//!     abort on missing acks, per-image verification and bounded retry —
+//!     what "scaling to hundreds or even thousands of nodes" requires.
+//!   Restores are coordinated symmetrically: stage every image, then resume
+//!   everyone together (naive skew or NTP instant).
+//! * [`reliability`] — the resource-manager integration the paper's §4
+//!   calls for: periodic checkpointing (fixed interval or Young's optimum),
+//!   failure detection, and automatic restore onto surviving nodes —
+//!   "if a single physical node dies, we can restart a checkpoint of the
+//!   entire virtual cluster on a different set of physical nodes".
+
+pub mod batch;
+pub mod images;
+pub mod lsc;
+pub mod migrate;
+pub mod reliability;
+pub mod vc;
+
+pub use lsc::{checkpoint_vc, restore_vc, LscMethod, LscOutcome, LscReport};
+pub use batch::{submit_dvc_job, DvcJobSpec, DvcJobState};
+pub use lsc::RestoreOutcome;
+pub use migrate::{live_migrate_vc, LiveMigrateCfg, LiveMigrateOutcome};
+pub use vc::{provision_vc, teardown_vc, CheckpointSet, CheckpointStore, VcId, VcSpec, VirtualCluster};

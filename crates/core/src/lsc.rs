@@ -1,0 +1,792 @@
+//! Lazy Synchronous Checkpointing.
+//!
+//! "There is a finite amount of time to save all virtual machines
+//! participating in the parallel computation before a network timeout occurs
+//! and causes the application to crash." (paper §3)
+//!
+//! This module implements the three coordinators:
+//!
+//! * [`LscMethod::Naive`] — §3.1's first attempt: the coordinator opens a
+//!   terminal connection to every node (serially), then walks the open
+//!   terminals issuing `vm save`; each dispatch occupies the coordinator for
+//!   a heavy-tailed service time, so the **pause skew grows ~linearly with
+//!   node count** and eventually exceeds the transport's retry budget. The
+//!   resume side is dispatched the same way — the paper counts "failures to
+//!   either save or restore".
+//! * [`LscMethod::Ntp`] — §3.1's working prototype: the coordinator picks a
+//!   fire instant `T` a lead time in the future, arms every node's agent,
+//!   and each agent's microsecond timer fires `vm save` when its *local*
+//!   disciplined clock reads `T`. Pause skew = residual NTP error.
+//! * [`LscMethod::Hardened`] — §4's future work: arm acknowledgements with
+//!   an abort-before-fire guard, per-image verification, health checks and
+//!   bounded retry, which is what lets the scheme survive per-agent
+//!   failures at large node counts (experiment E4).
+//!
+//! Checkpoint failures are **never injected at the transport level** — they
+//! emerge from peers of a paused guest exhausting TCP retransmissions. The
+//! only injectable fault is an *agent* fault ([`LscFaults`]), modelling the
+//! paper's "the larger the likelihood of a single VM checkpoint failing".
+
+use crate::vc::{self, CheckpointSet, VcId, VcState};
+use dvc_cluster::control;
+use dvc_cluster::glue;
+use dvc_cluster::node::NodeId;
+use dvc_cluster::storage;
+use dvc_cluster::world::ClusterWorld;
+use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_vmm::{VmId, VmImage};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Which coordinator to use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LscMethod {
+    Naive,
+    Ntp {
+        /// How far in the future the fire instant is set.
+        lead: SimDuration,
+    },
+    Hardened {
+        lead: SimDuration,
+        /// Arms must be acknowledged this long before the fire instant or
+        /// the attempt is aborted (nothing pauses) and retried.
+        ack_guard: SimDuration,
+        max_attempts: u32,
+        /// Fraction of each image read back for verification after the save.
+        verify_fraction: f64,
+    },
+}
+
+impl LscMethod {
+    pub fn ntp_default() -> Self {
+        LscMethod::Ntp {
+            lead: SimDuration::from_secs(5),
+        }
+    }
+
+    pub fn hardened_default() -> Self {
+        LscMethod::Hardened {
+            lead: SimDuration::from_secs(5),
+            ack_guard: SimDuration::from_secs(1),
+            max_attempts: 5,
+            verify_fraction: 0.05,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            LscMethod::Naive => "naive",
+            LscMethod::Ntp { .. } => "ntp",
+            LscMethod::Hardened { .. } => "hardened",
+        }
+    }
+}
+
+/// Injectable agent faults (experiment knobs; transport faults are never
+/// injected — they emerge).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LscFaults {
+    /// Probability that a node's checkpoint agent silently dies on arm
+    /// (its VM then never pauses — the paper's per-VM failure mode).
+    pub arm_loss_prob: f64,
+}
+
+/// Set the world-wide agent-fault configuration.
+pub fn set_faults(sim: &mut Sim<ClusterWorld>, faults: LscFaults) {
+    sim.world.ext.insert(faults);
+}
+
+fn faults(sim: &Sim<ClusterWorld>) -> LscFaults {
+    sim.world.ext.get::<LscFaults>().copied().unwrap_or_default()
+}
+
+/// Result of one checkpoint (save + coordinated resume) cycle.
+#[derive(Clone, Debug)]
+pub struct LscOutcome {
+    pub vc: VcId,
+    pub method: &'static str,
+    /// All images captured and all guests resumed.
+    pub success: bool,
+    pub set_id: Option<u64>,
+    /// Max − min guest pause instant (the skew LSC must keep under the
+    /// transport budget).
+    pub pause_skew: SimDuration,
+    /// Max − min guest resume instant.
+    pub resume_skew: SimDuration,
+    /// Coordinator start → all images stored.
+    pub save_duration: SimDuration,
+    /// Coordinator start → everything resumed (or failed).
+    pub total_duration: SimDuration,
+    pub attempts: u32,
+    pub detail: String,
+}
+
+/// Result of restoring a set onto (possibly different) hosts.
+#[derive(Clone, Debug)]
+pub struct RestoreOutcome {
+    pub vc: VcId,
+    pub success: bool,
+    pub resume_skew: SimDuration,
+    pub duration: SimDuration,
+    pub detail: String,
+}
+
+/// Alias kept for the public API: a full checkpoint report.
+pub type LscReport = LscOutcome;
+
+type DoneCb = Box<dyn FnOnce(&mut Sim<ClusterWorld>, LscOutcome)>;
+
+struct CkptRun {
+    vc: VcId,
+    method: LscMethod,
+    started: SimTime,
+    expected: usize,
+    images: Vec<Option<VmImage>>,
+    resolved: usize,
+    failed_members: usize,
+    pause_times: Vec<Option<SimTime>>,
+    resume_times: Vec<Option<SimTime>>,
+    resumed: usize,
+    attempts: u32,
+    /// Hardened: arm acks collected for the current attempt.
+    acks: usize,
+    /// Per-member agent liveness: once an agent has come up (acked/armed),
+    /// later attempts re-arm it reliably; only dead agents re-roll the
+    /// fault dice (a retry restarts the crashed checkpoint process).
+    agent_ok: Vec<bool>,
+    /// Hardened: attempt epoch; stale arms check this before firing.
+    attempt_epoch: u32,
+    aborted: bool,
+    save_done_at: Option<SimTime>,
+    finished: bool,
+    on_done: Option<DoneCb>,
+}
+
+#[derive(Default)]
+struct LscRuns {
+    runs: HashMap<u64, CkptRun>,
+    next: u64,
+}
+
+fn runs(sim: &mut Sim<ClusterWorld>) -> &mut LscRuns {
+    sim.world.ext.get_or_default::<LscRuns>()
+}
+
+/// Checkpoint a virtual cluster with the chosen method, then resume it the
+/// same way. `on_done` receives the outcome; on success the set is in the
+/// [`vc::CheckpointStore`].
+pub fn checkpoint_vc(
+    sim: &mut Sim<ClusterWorld>,
+    vc_id: VcId,
+    method: LscMethod,
+    on_done: impl FnOnce(&mut Sim<ClusterWorld>, LscOutcome) + 'static,
+) -> u64 {
+    let Some(v) = vc::vc(sim, vc_id) else {
+        panic!("checkpoint of unknown vc {vc_id:?}");
+    };
+    let n = v.vms.len();
+    let started = sim.now();
+    if let Some(v) = vc::vc_mut(sim, vc_id) {
+        v.state = VcState::Checkpointing;
+    }
+    let run_id = {
+        let r = runs(sim);
+        r.next += 1;
+        let id = r.next;
+        r.runs.insert(
+            id,
+            CkptRun {
+                vc: vc_id,
+                method,
+                started,
+                expected: n,
+                images: std::iter::repeat_with(|| None).take(n).collect(),
+                resolved: 0,
+                failed_members: 0,
+                pause_times: vec![None; n],
+                resume_times: vec![None; n],
+                resumed: 0,
+                attempts: 0,
+                acks: 0,
+                agent_ok: vec![false; n],
+                attempt_epoch: 0,
+                aborted: false,
+                save_done_at: None,
+                finished: false,
+                on_done: Some(Box::new(on_done)),
+            },
+        );
+        id
+    };
+    start_attempt(sim, run_id);
+    run_id
+}
+
+fn member_hosts(sim: &Sim<ClusterWorld>, vc_id: VcId) -> Vec<(usize, VmId, NodeId)> {
+    let v = vc::vc(sim, vc_id).expect("vc");
+    v.vms
+        .iter()
+        .enumerate()
+        .map(|(i, &vm)| (i, vm, v.hosts[i]))
+        .collect()
+}
+
+fn start_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
+    let (vc_id, method, attempt) = {
+        let r = runs(sim).runs.get_mut(&run_id).expect("run");
+        r.attempts += 1;
+        r.attempt_epoch += 1;
+        r.acks = 0;
+        r.aborted = false;
+        (r.vc, r.method, r.attempt_epoch)
+    };
+    let members = member_hosts(sim, vc_id);
+
+    match method {
+        LscMethod::Naive => {
+            // Phase 1: serial terminal opens.
+            let mut t = SimDuration::ZERO;
+            for &(_, _, host) in &members {
+                t += control::open_delay(sim, host);
+            }
+            // Phase 2: walk the terminals issuing `vm save`; each dispatch
+            // occupies the coordinator for a service time, so guest i pauses
+            // at the *cumulative* offset — the skew that kills this scheme.
+            for (i, vm, host) in members {
+                t += control::cmd_delay(sim, host);
+                let delay = t;
+                control::ctrl_call(sim, host, delay, move |sim| {
+                    fire_save(sim, run_id, i, vm);
+                });
+            }
+            arm_run_watchdog(sim, run_id, t + save_timeout());
+        }
+        LscMethod::Ntp { lead } => {
+            let t_fire_local = fire_instant(sim, lead);
+            for (i, vm, host) in members {
+                if !roll_agent(sim, run_id, i) {
+                    continue; // agent died; this VM will never pause
+                }
+                let d = control::cmd_delay(sim, host);
+                control::ctrl_call(sim, host, d, move |sim| {
+                    schedule_local_fire(sim, host, t_fire_local, move |sim| {
+                        fire_save(sim, run_id, i, vm);
+                    });
+                });
+            }
+            arm_run_watchdog(sim, run_id, lead + save_timeout());
+        }
+        LscMethod::Hardened {
+            lead, ack_guard, ..
+        } => {
+            let t_fire_local = fire_instant(sim, lead);
+            for (i, vm, host) in members {
+                if !roll_agent(sim, run_id, i) {
+                    continue;
+                }
+                let d = control::cmd_delay(sim, host);
+                control::ctrl_call(sim, host, d, move |sim| {
+                    // Ack back to the coordinator.
+                    let back = control::cmd_delay(sim, host);
+                    sim.schedule_in(back, move |sim| {
+                        if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+                            if r.attempt_epoch == attempt && !r.aborted {
+                                r.acks += 1;
+                            }
+                        }
+                    });
+                    // Fire unless the attempt was aborted meanwhile.
+                    schedule_local_fire(sim, host, t_fire_local, move |sim| {
+                        let ok = runs(sim)
+                            .runs
+                            .get(&run_id)
+                            .is_some_and(|r| r.attempt_epoch == attempt && !r.aborted);
+                        if ok {
+                            fire_save(sim, run_id, i, vm);
+                        }
+                    });
+                });
+            }
+            // Ack review, `ack_guard` before the fire instant.
+            let review_in = lead
+                .saturating_sub(ack_guard)
+                .max(SimDuration::from_millis(1));
+            sim.schedule_in(review_in, move |sim| {
+                let (ok, vc_id, attempts_left) = {
+                    let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+                        return;
+                    };
+                    if r.attempt_epoch != attempt || r.finished {
+                        return;
+                    }
+                    let max = match r.method {
+                        LscMethod::Hardened { max_attempts, .. } => max_attempts,
+                        _ => 1,
+                    };
+                    (r.acks == r.expected, r.vc, r.attempts < max)
+                };
+                let _ = vc_id;
+                if ok {
+                    return; // commit: arms fire at T
+                }
+                // Abort this attempt before anything pauses, then retry.
+                if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+                    r.aborted = true;
+                }
+                if attempts_left {
+                    start_attempt(sim, run_id);
+                } else {
+                    finish_run(sim, run_id, false, "arm acks incomplete after retries".into());
+                }
+            });
+            arm_run_watchdog(sim, run_id, lead + save_timeout());
+        }
+    }
+}
+
+/// Roll the agent-fault dice for member `i` of a run: an agent that has
+/// already come up stays up; a dead one gets a fresh chance per attempt
+/// (retries restart crashed checkpoint processes).
+fn roll_agent(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize) -> bool {
+    let already = runs(sim)
+        .runs
+        .get(&run_id)
+        .map(|r| r.agent_ok[member])
+        .unwrap_or(false);
+    if already {
+        return true;
+    }
+    let loss = faults(sim).arm_loss_prob;
+    let ok = loss <= 0.0 || !sim.rng.stream("lsc.arm_loss").gen_bool(loss);
+    if ok {
+        if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+            r.agent_ok[member] = true;
+        }
+    }
+    ok
+}
+
+/// Shared-local-clock fire instant `lead` from now (head-node clock).
+fn fire_instant(sim: &Sim<ClusterWorld>, lead: SimDuration) -> i64 {
+    let head = sim.world.head;
+    glue::local_now(sim, head) + lead.nanos() as i64
+}
+
+/// Run `f` when `host`'s local clock reads `t_local` (immediately if past —
+/// a late arm does its best).
+fn schedule_local_fire(
+    sim: &mut Sim<ClusterWorld>,
+    host: NodeId,
+    t_local: i64,
+    f: impl FnOnce(&mut Sim<ClusterWorld>) + 'static,
+) {
+    let at = glue::local_deadline_to_true(sim, host, t_local);
+    sim.schedule_at(at, f);
+}
+
+/// Generous bound on how long the save phase may take before the run is
+/// declared failed (covers storage time for large sets).
+fn save_timeout() -> SimDuration {
+    SimDuration::from_secs(3600)
+}
+
+fn arm_run_watchdog(sim: &mut Sim<ClusterWorld>, run_id: u64, after: SimDuration) {
+    sim.schedule_in(after, move |sim| {
+        let unfinished = runs(sim)
+            .runs
+            .get(&run_id)
+            .is_some_and(|r| !r.finished && r.save_done_at.is_none());
+        if unfinished {
+            finish_run(sim, run_id, false, "save phase timed out".into());
+        }
+    });
+}
+
+/// `vm save` lands on a member: pause + snapshot + stream to storage.
+fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) {
+    let now = sim.now();
+    {
+        let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+            return;
+        };
+        if r.finished || r.pause_times[member].is_some() {
+            return;
+        }
+        r.pause_times[member] = Some(now);
+    }
+    let alive = sim
+        .world
+        .vm(vm)
+        .is_some_and(|v| v.state != dvc_vmm::VmState::Dead);
+    if !alive {
+        member_resolved(sim, run_id, member, None);
+        return;
+    }
+    glue::save_vm(sim, vm, move |sim, image| {
+        member_resolved(sim, run_id, member, Some(image));
+    });
+}
+
+fn member_resolved(
+    sim: &mut Sim<ClusterWorld>,
+    run_id: u64,
+    member: usize,
+    image: Option<VmImage>,
+) {
+    let save_phase_complete = {
+        let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+            return;
+        };
+        if r.finished {
+            return;
+        }
+        if image.is_none() {
+            r.failed_members += 1;
+        }
+        r.images[member] = image;
+        r.resolved += 1;
+        r.resolved == r.expected
+    };
+    if save_phase_complete {
+        on_all_saves_resolved(sim, run_id);
+    }
+}
+
+fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
+    let now = sim.now();
+    let (ok, method, vc_id) = {
+        let r = runs(sim).runs.get_mut(&run_id).expect("run");
+        r.save_done_at = Some(now);
+        (r.failed_members == 0, r.method, r.vc)
+    };
+    if !ok {
+        finish_run(sim, run_id, false, "one or more VM saves failed".into());
+        return;
+    }
+
+    // Persist the set.
+    let set_id = {
+        let images: Vec<VmImage> = {
+            let r = runs(sim).runs.get_mut(&run_id).unwrap();
+            r.images.iter().map(|i| i.clone().expect("image")).collect()
+        };
+        let skew = {
+            let r = runs(sim).runs.get(&run_id).unwrap();
+            skew_of(&r.pause_times)
+        };
+        let st = vc::store(sim);
+        let id = st.alloc_id();
+        st.sets.push(CheckpointSet {
+            id,
+            vc: vc_id,
+            taken_at: now,
+            images,
+            pause_skew: skew,
+        });
+        id
+    };
+    sim.world.ext.get_or_default::<LastSetId>().0.insert(run_id, set_id);
+
+    // Hardened: verify images (read back a fraction) before resuming.
+    if let LscMethod::Hardened {
+        verify_fraction, ..
+    } = method
+    {
+        if verify_fraction > 0.0 {
+            let bytes: u64 = {
+                let r = runs(sim).runs.get(&run_id).unwrap();
+                r.images
+                    .iter()
+                    .flatten()
+                    .map(|i| (i.size_bytes() as f64 * verify_fraction) as u64)
+                    .sum()
+            };
+            storage::start_transfer(sim, bytes.max(1), move |sim| {
+                coordinated_resume(sim, run_id);
+            });
+            return;
+        }
+    }
+    coordinated_resume(sim, run_id);
+}
+
+/// Map run → stored set id (so `finish_run` can report it).
+#[derive(Default)]
+struct LastSetId(HashMap<u64, u64>);
+
+/// Resume every member using the same coordination discipline as the save.
+fn coordinated_resume(sim: &mut Sim<ClusterWorld>, run_id: u64) {
+    let (vc_id, method) = {
+        let r = runs(sim).runs.get(&run_id).expect("run");
+        (r.vc, r.method)
+    };
+    let members = member_hosts(sim, vc_id);
+    match method {
+        LscMethod::Naive => {
+            let mut t = SimDuration::ZERO;
+            for (i, vm, host) in members {
+                t += control::cmd_delay(sim, host);
+                control::ctrl_call(sim, host, t, move |sim| {
+                    fire_resume(sim, run_id, i, vm);
+                });
+            }
+        }
+        LscMethod::Ntp { lead } | LscMethod::Hardened { lead, .. } => {
+            let t_fire_local = fire_instant(sim, lead);
+            for (i, vm, host) in members {
+                let d = control::cmd_delay(sim, host);
+                control::ctrl_call(sim, host, d, move |sim| {
+                    schedule_local_fire(sim, host, t_fire_local, move |sim| {
+                        fire_resume(sim, run_id, i, vm);
+                    });
+                });
+            }
+        }
+    }
+    // Resume watchdog: arms can be lost to node crashes.
+    sim.schedule_in(SimDuration::from_secs(600), move |sim| {
+        let stuck = runs(sim).runs.get(&run_id).is_some_and(|r| !r.finished);
+        if stuck {
+            finish_run(sim, run_id, false, "resume phase timed out".into());
+        }
+    });
+}
+
+fn fire_resume(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) {
+    let now = sim.now();
+    let all_resumed = {
+        let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+            return;
+        };
+        if r.finished || r.resume_times[member].is_some() {
+            return;
+        }
+        r.resume_times[member] = Some(now);
+        r.resumed += 1;
+        r.resumed == r.expected
+    };
+    glue::resume_vm(sim, vm);
+    if all_resumed {
+        finish_run(sim, run_id, true, "ok".into());
+    }
+}
+
+fn skew_of(times: &[Option<SimTime>]) -> SimDuration {
+    let known: Vec<SimTime> = times.iter().flatten().copied().collect();
+    if known.len() < 2 {
+        return SimDuration::ZERO;
+    }
+    let min = known.iter().min().unwrap();
+    let max = known.iter().max().unwrap();
+    *max - *min
+}
+
+fn finish_run(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: String) {
+    let now = sim.now();
+    let (outcome, cb) = {
+        let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+            return;
+        };
+        if r.finished {
+            return;
+        }
+        r.finished = true;
+        let set_id = sim
+            .world
+            .ext
+            .get::<LastSetId>()
+            .and_then(|m| m.0.get(&run_id).copied());
+        let r = runs(sim).runs.get_mut(&run_id).unwrap();
+        let outcome = LscOutcome {
+            vc: r.vc,
+            method: r.method.name(),
+            success,
+            set_id,
+            pause_skew: skew_of(&r.pause_times),
+            resume_skew: skew_of(&r.resume_times),
+            save_duration: r.save_done_at.map(|t| t - r.started).unwrap_or(SimDuration::ZERO),
+            total_duration: now - r.started,
+            attempts: r.attempts,
+            detail,
+        };
+        (outcome, r.on_done.take())
+    };
+    if let Some(v) = vc::vc_mut(sim, outcome.vc) {
+        v.state = VcState::Up;
+    }
+    runs(sim).runs.remove(&run_id);
+    if let Some(cb) = cb {
+        cb(sim, outcome);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restore / migration
+// ---------------------------------------------------------------------
+
+type RestoreCb = Box<dyn FnOnce(&mut Sim<ClusterWorld>, RestoreOutcome)>;
+
+struct RestoreRun {
+    vc: VcId,
+    started: SimTime,
+    expected: usize,
+    placed: usize,
+    resume_times: Vec<Option<SimTime>>,
+    resumed: usize,
+    finished: bool,
+    on_done: Option<RestoreCb>,
+}
+
+#[derive(Default)]
+struct RestoreRuns {
+    runs: HashMap<u64, RestoreRun>,
+    next: u64,
+}
+
+/// Restore checkpoint set `set_id` onto `targets` (one per vnode; may be a
+/// completely different node set — this is migration). Old instances, if
+/// any survive, are destroyed first. Resumes are NTP-coordinated.
+pub fn restore_vc(
+    sim: &mut Sim<ClusterWorld>,
+    set_id: u64,
+    targets: Vec<NodeId>,
+    lead: SimDuration,
+    on_done: impl FnOnce(&mut Sim<ClusterWorld>, RestoreOutcome) + 'static,
+) {
+    let (vc_id, images): (VcId, Vec<VmImage>) = {
+        let st = sim.world.ext.get::<crate::vc::CheckpointStore>().expect("store");
+        let set = st
+            .sets
+            .iter()
+            .find(|s| s.id == set_id)
+            .expect("unknown checkpoint set");
+        (set.vc, set.images.clone())
+    };
+    assert_eq!(images.len(), targets.len(), "one target per vnode");
+
+    if let Some(v) = vc::vc_mut(sim, vc_id) {
+        v.state = VcState::Restoring;
+        v.hosts = targets.clone();
+    }
+    // Destroy any survivors of the old incarnation.
+    let old_vms: Vec<VmId> = vc::vc(sim, vc_id).map(|v| v.vms.clone()).unwrap_or_default();
+    for vm in old_vms {
+        glue::destroy_vm(sim, vm);
+    }
+
+    let now = sim.now();
+    let run_id = {
+        let rr = sim.world.ext.get_or_default::<RestoreRuns>();
+        rr.next += 1;
+        let id = rr.next;
+        rr.runs.insert(
+            id,
+            RestoreRun {
+                vc: vc_id,
+                started: now,
+                expected: images.len(),
+                placed: 0,
+                resume_times: vec![None; images.len()],
+                resumed: 0,
+                finished: false,
+                on_done: Some(Box::new(on_done)),
+            },
+        );
+        id
+    };
+
+    // Stage all images (contended storage reads), placing each paused.
+    for (i, (image, target)) in images.into_iter().zip(targets).enumerate() {
+        let bytes = image.size_bytes();
+        storage::note_bytes(sim, bytes);
+        storage::start_transfer(sim, bytes, move |sim| {
+            if !sim.world.node(target).up {
+                restore_failed(sim, run_id, format!("target node {target:?} is down"));
+                return;
+            }
+            glue::place_image_paused(sim, &image, target);
+            let all_placed = {
+                let rr = sim.world.ext.get_or_default::<RestoreRuns>();
+                let Some(r) = rr.runs.get_mut(&run_id) else {
+                    return;
+                };
+                r.placed += 1;
+                r.placed == r.expected
+            };
+            let _ = i;
+            if all_placed {
+                restore_resume_all(sim, run_id, lead);
+            }
+        });
+    }
+}
+
+fn restore_resume_all(sim: &mut Sim<ClusterWorld>, run_id: u64, lead: SimDuration) {
+    let vc_id = {
+        let rr = sim.world.ext.get_or_default::<RestoreRuns>();
+        rr.runs.get(&run_id).expect("restore run").vc
+    };
+    let members = member_hosts(sim, vc_id);
+    let t_fire_local = fire_instant(sim, lead);
+    for (i, vm, host) in members {
+        let d = control::cmd_delay(sim, host);
+        control::ctrl_call(sim, host, d, move |sim| {
+            schedule_local_fire(sim, host, t_fire_local, move |sim| {
+                let now = sim.now();
+                let done = {
+                    let rr = sim.world.ext.get_or_default::<RestoreRuns>();
+                    let Some(r) = rr.runs.get_mut(&run_id) else {
+                        return;
+                    };
+                    if r.finished || r.resume_times[i].is_some() {
+                        return;
+                    }
+                    r.resume_times[i] = Some(now);
+                    r.resumed += 1;
+                    r.resumed == r.expected
+                };
+                glue::resume_vm(sim, vm);
+                if done {
+                    restore_finished(sim, run_id, true, "ok".into());
+                }
+            });
+        });
+    }
+}
+
+fn restore_failed(sim: &mut Sim<ClusterWorld>, run_id: u64, detail: String) {
+    restore_finished(sim, run_id, false, detail);
+}
+
+fn restore_finished(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: String) {
+    let now = sim.now();
+    let (outcome, cb) = {
+        let rr = sim.world.ext.get_or_default::<RestoreRuns>();
+        let Some(r) = rr.runs.get_mut(&run_id) else {
+            return;
+        };
+        if r.finished {
+            return;
+        }
+        r.finished = true;
+        let outcome = RestoreOutcome {
+            vc: r.vc,
+            success,
+            resume_skew: skew_of(&r.resume_times),
+            duration: now - r.started,
+            detail,
+        };
+        (outcome, r.on_done.take())
+    };
+    if let Some(v) = vc::vc_mut(sim, outcome.vc) {
+        v.state = if success { VcState::Up } else { VcState::Down };
+    }
+    sim.world
+        .ext
+        .get_or_default::<RestoreRuns>()
+        .runs
+        .remove(&run_id);
+    if let Some(cb) = cb {
+        cb(sim, outcome);
+    }
+}

@@ -1,0 +1,342 @@
+//! Reliability management: periodic checkpointing + automatic recovery.
+//!
+//! This is the paper's thesis operationalized: "If a single physical node
+//! dies, we can restart a checkpoint of the entire virtual cluster on a
+//! different set of physical nodes" — plus the §4 integration with the
+//! resource manager. The checkpoint cadence is either fixed or Young's
+//! optimum √(2·C·MTBF), with C continuously re-estimated from measured
+//! checkpoint cost.
+
+use crate::lsc::{self, LscMethod};
+use crate::vc::{self, VcId};
+use dvc_cluster::node::NodeId;
+use dvc_cluster::world::ClusterWorld;
+use dvc_sim_core::{Sim, SimDuration};
+use dvc_vmm::VmState;
+use std::collections::HashMap;
+
+/// Checkpoint cadence policy.
+#[derive(Clone, Copy, Debug)]
+pub enum Cadence {
+    /// No periodic checkpoints (failures lose everything).
+    None,
+    Fixed(SimDuration),
+    /// Young's optimum for the given node MTBF; falls back to `initial`
+    /// until a checkpoint cost has been measured.
+    Young {
+        mtbf: SimDuration,
+        initial: SimDuration,
+    },
+}
+
+/// Reliability policy for one virtual cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Policy {
+    pub cadence: Cadence,
+    pub method: LscMethod,
+    /// Give up after this many recoveries.
+    pub max_restores: u32,
+    /// Health-scan period (failure detection latency).
+    pub scan_every: SimDuration,
+}
+
+impl Policy {
+    pub fn periodic(interval: SimDuration) -> Self {
+        Policy {
+            cadence: Cadence::Fixed(interval),
+            method: LscMethod::ntp_default(),
+            max_restores: 16,
+            scan_every: SimDuration::from_secs(5),
+        }
+    }
+
+    pub fn young(mtbf: SimDuration) -> Self {
+        Policy {
+            cadence: Cadence::Young {
+                mtbf,
+                initial: SimDuration::from_secs(300),
+            },
+            method: LscMethod::ntp_default(),
+            max_restores: 16,
+            scan_every: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Young's optimal checkpoint interval √(2·C·M).
+pub fn young_interval(ckpt_cost: SimDuration, mtbf: SimDuration) -> SimDuration {
+    SimDuration::from_secs_f64((2.0 * ckpt_cost.as_secs_f64() * mtbf.as_secs_f64()).sqrt())
+}
+
+/// Per-VC reliability statistics (experiment output).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RelStats {
+    pub checkpoints_ok: u32,
+    pub checkpoints_failed: u32,
+    pub restores: u32,
+    pub lost: bool,
+}
+
+struct RelState {
+    policy: Policy,
+    last_cost: Option<SimDuration>,
+    stats: RelStats,
+    active: bool,
+    busy: bool,
+}
+
+#[derive(Default)]
+struct RelMgrs(HashMap<VcId, RelState>);
+
+fn mgrs(sim: &mut Sim<ClusterWorld>) -> &mut RelMgrs {
+    sim.world.ext.get_or_default::<RelMgrs>()
+}
+
+/// Start managing `vc_id` under `policy`. An initial checkpoint is taken
+/// right away — a job with no set yet cannot be recovered at all, so the
+/// window before the first periodic tick is the riskiest of the run.
+pub fn manage(sim: &mut Sim<ClusterWorld>, vc_id: VcId, policy: Policy) {
+    mgrs(sim).0.insert(
+        vc_id,
+        RelState {
+            policy,
+            last_cost: None,
+            stats: RelStats::default(),
+            active: true,
+            busy: false,
+        },
+    );
+    if !matches!(policy.cadence, Cadence::None) {
+        checkpoint_now(sim, vc_id);
+    }
+    schedule_ckpt_tick(sim, vc_id);
+    schedule_scan(sim, vc_id);
+}
+
+/// Take a checkpoint immediately (if healthy and idle).
+fn checkpoint_now(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
+    let (active, busy, method) = {
+        let Some(st) = mgrs(sim).0.get(&vc_id) else { return };
+        (st.active, st.busy, st.policy.method)
+    };
+    if !active || busy || !vc_healthy(sim, vc_id) {
+        return;
+    }
+    if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+        st.busy = true;
+    }
+    lsc::checkpoint_vc(sim, vc_id, method, move |sim, outcome| {
+        if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+            st.busy = false;
+            if outcome.success {
+                st.stats.checkpoints_ok += 1;
+                st.last_cost = Some(outcome.total_duration);
+            } else {
+                st.stats.checkpoints_failed += 1;
+            }
+        }
+        vc::store(sim).prune(vc_id, 2);
+    });
+}
+
+/// Stop managing (e.g. the job finished).
+pub fn stop(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
+    if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+        st.active = false;
+    }
+}
+
+/// Statistics accessor.
+pub fn stats(sim: &mut Sim<ClusterWorld>, vc_id: VcId) -> RelStats {
+    mgrs(sim)
+        .0
+        .get(&vc_id)
+        .map(|s| s.stats)
+        .unwrap_or_default()
+}
+
+fn current_interval(st: &RelState) -> Option<SimDuration> {
+    match st.policy.cadence {
+        Cadence::None => None,
+        Cadence::Fixed(d) => Some(d),
+        Cadence::Young { mtbf, initial } => Some(match st.last_cost {
+            Some(c) => young_interval(c, mtbf),
+            None => initial,
+        }),
+    }
+}
+
+fn schedule_ckpt_tick(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
+    let Some(st) = mgrs(sim).0.get(&vc_id) else {
+        return;
+    };
+    if !st.active {
+        return;
+    }
+    let Some(interval) = current_interval(st) else {
+        return;
+    };
+    sim.schedule_in(interval, move |sim| {
+        let (active, busy, method) = {
+            let Some(st) = mgrs(sim).0.get(&vc_id) else {
+                return;
+            };
+            (st.active, st.busy, st.policy.method)
+        };
+        if !active {
+            return;
+        }
+        if busy {
+            // A checkpoint or recovery is in flight; try again next tick.
+            schedule_ckpt_tick(sim, vc_id);
+            return;
+        }
+        // VC must be healthy to checkpoint.
+        if !vc_healthy(sim, vc_id) {
+            schedule_ckpt_tick(sim, vc_id);
+            return;
+        }
+        if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+            st.busy = true;
+        }
+        lsc::checkpoint_vc(sim, vc_id, method, move |sim, outcome| {
+            if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+                st.busy = false;
+                if outcome.success {
+                    st.stats.checkpoints_ok += 1;
+                    st.last_cost = Some(outcome.total_duration);
+                } else {
+                    st.stats.checkpoints_failed += 1;
+                }
+            }
+            // Keep a bounded history of sets.
+            vc::store(sim).prune(vc_id, 2);
+            schedule_ckpt_tick(sim, vc_id);
+        });
+    });
+}
+
+fn vc_healthy(sim: &Sim<ClusterWorld>, vc_id: VcId) -> bool {
+    let Some(v) = vc::vc(sim, vc_id) else {
+        return false;
+    };
+    v.vms.iter().all(|&vm| {
+        sim.world
+            .vm(vm)
+            .is_some_and(|x| x.state != VmState::Dead)
+    }) && v.hosts.iter().all(|&h| sim.world.node(h).up)
+}
+
+fn schedule_scan(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
+    let Some(st) = mgrs(sim).0.get(&vc_id) else {
+        return;
+    };
+    if !st.active {
+        return;
+    }
+    let every = st.policy.scan_every;
+    sim.schedule_in(every, move |sim| {
+        let (active, busy) = {
+            let Some(st) = mgrs(sim).0.get(&vc_id) else {
+                return;
+            };
+            (st.active, st.busy)
+        };
+        if !active {
+            return;
+        }
+        if !busy && !vc_healthy(sim, vc_id) {
+            recover(sim, vc_id);
+        }
+        schedule_scan(sim, vc_id);
+    });
+}
+
+/// Pick replacement hosts: up nodes, fewest domains first, stable order.
+fn pick_targets(sim: &Sim<ClusterWorld>, n: usize, avoid_down: bool) -> Option<Vec<NodeId>> {
+    let mut candidates: Vec<NodeId> = sim
+        .world
+        .nodes
+        .iter()
+        .filter(|node| !avoid_down || node.up)
+        .map(|node| node.id)
+        .collect();
+    candidates.sort_by_key(|&id| {
+        (
+            sim.world.node(id).domains.len(),
+            id.0,
+        )
+    });
+    if candidates.len() < n {
+        return None;
+    }
+    Some(candidates[..n].to_vec())
+}
+
+/// Restore the latest set onto fresh hosts.
+fn recover(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
+    let (allowed, restores) = {
+        let Some(st) = mgrs(sim).0.get_mut(&vc_id) else {
+            return;
+        };
+        if st.busy {
+            return;
+        }
+        st.busy = true;
+        (st.policy.max_restores, st.stats.restores)
+    };
+    let set_id = vc::store(sim).latest_for(vc_id).map(|s| s.id);
+    let n = vc::vc(sim, vc_id).map(|v| v.vms.len()).unwrap_or(0);
+    let give_up = |sim: &mut Sim<ClusterWorld>, why: &str| {
+        if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+            st.stats.lost = true;
+            st.active = false;
+            st.busy = false;
+        }
+        let _ = why;
+    };
+    if restores >= allowed {
+        give_up(sim, "restore budget exhausted");
+        return;
+    }
+    let Some(set_id) = set_id else {
+        give_up(sim, "no checkpoint set exists");
+        return;
+    };
+    let Some(targets) = pick_targets(sim, n, true) else {
+        give_up(sim, "not enough healthy nodes");
+        return;
+    };
+    if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+        st.stats.restores += 1;
+    }
+    lsc::restore_vc(sim, set_id, targets, SimDuration::from_secs(5), move |sim, out| {
+        if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+            st.busy = false;
+            if !out.success {
+                // The scan will try again (counts against the budget).
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_interval_matches_formula() {
+        let c = SimDuration::from_secs(50);
+        let m = SimDuration::from_secs(10_000);
+        let tau = young_interval(c, m);
+        assert!((tau.as_secs_f64() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn young_interval_shrinks_with_mtbf() {
+        let c = SimDuration::from_secs(30);
+        let t1 = young_interval(c, SimDuration::from_secs(100_000));
+        let t2 = young_interval(c, SimDuration::from_secs(1_000));
+        assert!(t2 < t1);
+    }
+}

@@ -1,0 +1,496 @@
+//! The rank runtime: a guest process executing a rank program.
+//!
+//! Wire protocol: length-prefixed frames over the guest TCP stream —
+//! `src_rank:u32 | tag:u32 | len:u32 | payload[len]` — with a per-peer
+//! reassembly buffer. Connections form a full mesh: rank r actively connects
+//! to every lower rank and accepts from every higher rank; the first frame
+//! on an accepted stream is a `HELLO` identifying the sender.
+//!
+//! The runtime is a plain `Clone` value: a VM snapshot captures a rank
+//! mid-collective, in-flight frames and all. That is the entire point.
+
+use crate::data::{RankData, Value};
+use crate::ops::{push_front, Op};
+use bytes::{BufMut, BytesMut};
+use dvc_net::tcp::{LocalNs, SockId, TcpState};
+use dvc_net::Addr;
+use dvc_sim_core::SimDuration;
+use dvc_vmm::guest::{GuestCtx, GuestProc, ProcPoll};
+use std::collections::{HashMap, VecDeque};
+
+
+/// The port every rank's runtime listens on (one rank per VM).
+pub const MPI_PORT: u16 = 6000;
+
+/// Frame tag reserved for connection hellos.
+const HELLO_TAG: u32 = u32::MAX;
+
+/// Frame header bytes.
+const HDR: usize = 12;
+
+/// rank → virtual address of the VM hosting it.
+pub type RankMap = Vec<Addr>;
+
+/// Progress/traffic counters for one rank.
+#[derive(Clone, Debug, Default)]
+pub struct MpiStats {
+    pub msgs_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub compute_ns: u64,
+    pub ops_executed: u64,
+    pub started_at: Option<LocalNs>,
+    pub finished_at: Option<LocalNs>,
+    /// `Op::Marker` hits with their guest wall-clock stamps.
+    pub markers: Vec<(&'static str, LocalNs)>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Phase {
+    Connecting,
+    Running,
+    Draining,
+    Done,
+    Failed(String),
+}
+
+#[derive(Clone, Debug, Default)]
+struct PeerConn {
+    sock: Option<SockId>,
+    /// Framed bytes the stack has not yet accepted.
+    tx: VecDeque<u8>,
+    /// Reassembly buffer.
+    rx: Vec<u8>,
+}
+
+/// The per-rank message-passing runtime (a guest process).
+#[derive(Clone)]
+pub struct MpiRuntime {
+    pub rank: usize,
+    pub size: usize,
+    map: RankMap,
+    /// Node speed used to convert `Op::Compute{flops}` into time.
+    gflops: f64,
+    phase: Phase,
+    listener: Option<SockId>,
+    peers: HashMap<usize, PeerConn>,
+    /// Ranks this rank communicates with (None = all). A sparse hint keeps
+    /// large jobs (e.g. a 1024-rank ring) from building a full mesh.
+    peer_hint: Option<Vec<usize>>,
+    /// Accepted sockets awaiting their HELLO frame.
+    pending_accepts: Vec<(SockId, Vec<u8>)>,
+    inbox: HashMap<(usize, u32), VecDeque<Vec<u8>>>,
+    script: VecDeque<Op>,
+    pub data: RankData,
+    pub stats: MpiStats,
+}
+
+impl MpiRuntime {
+    pub fn new(
+        rank: usize,
+        size: usize,
+        map: RankMap,
+        gflops: f64,
+        program: Vec<Op>,
+        data: RankData,
+    ) -> Self {
+        assert_eq!(map.len(), size, "rank map must cover all ranks");
+        assert!(rank < size);
+        assert!(gflops > 0.0);
+        MpiRuntime {
+            rank,
+            size,
+            map,
+            gflops,
+            phase: Phase::Connecting,
+            listener: None,
+            peers: HashMap::new(),
+            peer_hint: None,
+            pending_accepts: Vec::new(),
+            inbox: HashMap::new(),
+            script: program.into(),
+            data,
+            stats: MpiStats::default(),
+        }
+    }
+
+    /// Restrict eager connection establishment to the given peer ranks
+    /// (e.g. ring neighbours). Messages to ranks outside the hint are a
+    /// programming error in lazy jobs.
+    pub fn with_peer_hint(mut self, peers: Vec<usize>) -> Self {
+        let mut p = peers;
+        p.retain(|&r| r != self.rank && r < self.size);
+        p.sort_unstable();
+        p.dedup();
+        self.peer_hint = Some(p);
+        self
+    }
+
+    fn peer_ranks(&self) -> Vec<usize> {
+        match &self.peer_hint {
+            Some(p) => p.clone(),
+            None => (0..self.size).filter(|&r| r != self.rank).collect(),
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    pub fn failure(&self) -> Option<&str> {
+        match &self.phase {
+            Phase::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Remaining ops (diagnostics).
+    pub fn remaining_ops(&self) -> usize {
+        self.script.len()
+    }
+
+    fn frame(&self, tag: u32, payload: &[u8]) -> Vec<u8> {
+        let mut b = BytesMut::with_capacity(HDR + payload.len());
+        b.put_u32_le(self.rank as u32);
+        b.put_u32_le(tag);
+        b.put_u32_le(payload.len() as u32);
+        b.put_slice(payload);
+        b.to_vec()
+    }
+
+    /// Queue a framed message toward `to` (or loop it back locally).
+    fn post(&mut self, to: usize, tag: u32, payload: Vec<u8>) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        if to == self.rank {
+            self.stats.msgs_received += 1;
+            self.stats.bytes_received += payload.len() as u64;
+            self.inbox.entry((to, tag)).or_default().push_back(payload);
+            return;
+        }
+        let framed = self.frame(tag, &payload);
+        self.peers.entry(to).or_default().tx.extend(framed);
+    }
+
+    /// Parse complete frames out of a peer's reassembly buffer.
+    fn parse_frames(&mut self, from: usize) {
+        loop {
+            let peer = self.peers.entry(from).or_default();
+            let rxlen = peer.rx.len();
+            if rxlen < HDR {
+                return;
+            }
+            let rx = &peer.rx;
+            let src = u32::from_le_bytes(rx[0..4].try_into().unwrap()) as usize;
+            let tag = u32::from_le_bytes(rx[4..8].try_into().unwrap());
+            let len = u32::from_le_bytes(rx[8..12].try_into().unwrap()) as usize;
+            if rxlen < HDR + len {
+                return;
+            }
+            let payload = peer.rx[HDR..HDR + len].to_vec();
+            peer.rx.drain(..HDR + len);
+            if tag == HELLO_TAG {
+                continue; // duplicate hello (harmless)
+            }
+            self.stats.msgs_received += 1;
+            self.stats.bytes_received += payload.len() as u64;
+            self.inbox.entry((src, tag)).or_default().push_back(payload);
+        }
+    }
+
+    /// Drive connection establishment, reads, and tx flushing.
+    fn pump_io(&mut self, ctx: &mut GuestCtx<'_>) -> Result<(), String> {
+        // Listener.
+        if self.listener.is_none() && self.size > 1 {
+            self.listener = Some(
+                ctx.tcp
+                    .listen(MPI_PORT)
+                    .map_err(|e| format!("listen: {e}"))?,
+            );
+        }
+
+        // Active opens toward lower-ranked peers (once).
+        for r in self.peer_ranks() {
+            if r >= self.rank {
+                continue;
+            }
+            if self.peers.entry(r).or_default().sock.is_none() {
+                let sock = ctx.tcp.connect(ctx.now, self.map[r], MPI_PORT);
+                let hello = self.frame(HELLO_TAG, &[]);
+                let peer = self.peers.get_mut(&r).unwrap();
+                peer.sock = Some(sock);
+                // Say hello as the first frame on the stream.
+                peer.tx.extend(hello);
+            }
+        }
+
+        // Accept from higher ranks.
+        if let Some(listener) = self.listener {
+            while let Some(sock) = ctx.tcp.accept(listener) {
+                self.pending_accepts.push((sock, Vec::new()));
+            }
+        }
+
+        // Identify pending accepts by their hello.
+        let mut identified = Vec::new();
+        for i in 0..self.pending_accepts.len() {
+            let sock = self.pending_accepts[i].0;
+            loop {
+                let chunk = ctx.tcp.recv(ctx.now, sock, 1 << 16);
+                if chunk.is_empty() {
+                    break;
+                }
+                self.pending_accepts[i].1.extend(chunk);
+            }
+            let buf = &self.pending_accepts[i].1;
+            if buf.len() >= HDR {
+                let src = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+                let tag = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                if tag != HELLO_TAG || src >= self.size {
+                    return Err(format!("bad hello from socket {sock}: src={src} tag={tag}"));
+                }
+                identified.push((i, src));
+            }
+        }
+        for &(i, src) in identified.iter().rev() {
+            let (sock, buf) = self.pending_accepts.remove(i);
+            let peer = self.peers.entry(src).or_default();
+            peer.sock = Some(sock);
+            peer.rx.extend_from_slice(&buf[HDR..]);
+            self.parse_frames(src);
+        }
+
+        // Per-peer reads, error checks, tx flushing (sorted: HashMap order
+        // must never leak into event ordering — determinism).
+        let mut ranks: Vec<usize> = self.peers.keys().copied().collect();
+        ranks.sort_unstable();
+        for r in ranks {
+            let Some(sock) = self.peers[&r].sock else {
+                continue;
+            };
+            if let Some(err) = ctx.tcp.error(sock) {
+                return Err(format!("rank {}: connection to rank {r} failed: {err:?}", self.rank));
+            }
+            loop {
+                let chunk = ctx.tcp.recv(ctx.now, sock, 1 << 16);
+                if chunk.is_empty() {
+                    break;
+                }
+                self.peers.get_mut(&r).unwrap().rx.extend(chunk);
+            }
+            self.parse_frames(r);
+            // Flush queued tx bytes (only possible once established).
+            if matches!(
+                ctx.tcp.state(sock),
+                Some(TcpState::Established) | Some(TcpState::CloseWait)
+            ) {
+                let peer = self.peers.get_mut(&r).unwrap();
+                while !peer.tx.is_empty() {
+                    let contiguous = peer.tx.make_contiguous();
+                    let n = ctx.tcp.send(ctx.now, sock, contiguous);
+                    if n == 0 {
+                        break;
+                    }
+                    peer.tx.drain(..n);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The mesh is up when every peer connection is *established* and its
+    /// hello has been flushed — only then may the rank program start
+    /// (MPI_Init semantics). Starting earlier would let a long first
+    /// compute slice sit on an unsent hello and starve the peer.
+    fn mesh_ready(&self, ctx: &mut GuestCtx<'_>) -> bool {
+        self.peer_ranks().iter().all(|r| {
+            self.peers.get(r).is_some_and(|p| {
+                p.tx.is_empty()
+                    && p.sock.is_some_and(|sock| {
+                        matches!(
+                            ctx.tcp.state(sock),
+                            Some(TcpState::Established) | Some(TcpState::CloseWait)
+                        )
+                    })
+            })
+        })
+    }
+
+    fn tx_drained(&self) -> bool {
+        self.peers.values().all(|p| p.tx.is_empty())
+    }
+
+    /// Execute script ops until one blocks/yields.
+    fn step_script(&mut self, ctx: &mut GuestCtx<'_>) -> ProcPoll {
+        loop {
+            let Some(op) = self.script.pop_front() else {
+                self.phase = Phase::Draining;
+                return self.drain(ctx);
+            };
+            self.stats.ops_executed += 1;
+            match op {
+                Op::Compute { flops } => {
+                    let ns = (flops / self.gflops).max(1.0); // gflops ⇒ flops/ns
+                    self.stats.compute_ns += ns as u64;
+                    return ProcPoll::Compute(SimDuration::from_nanos(ns as u64));
+                }
+                Op::ComputeNs(ns) => {
+                    self.stats.compute_ns += ns;
+                    return ProcPoll::Compute(SimDuration::from_nanos(ns.max(1)));
+                }
+                Op::Send { to, tag, slot } => {
+                    let Some(v) = self.data.get(&slot) else {
+                        return self.fail(format!("send: no value at '{slot}'"));
+                    };
+                    let payload = v.encode().to_vec();
+                    self.post(to, tag, payload);
+                    // Opportunistic flush keeps latency low.
+                    if let Err(e) = self.pump_io(ctx) {
+                        return self.fail(e);
+                    }
+                }
+                Op::Recv { from, tag, into } => {
+                    let msg = self.inbox.get_mut(&(from, tag)).and_then(|q| q.pop_front());
+                    match msg {
+                        Some(payload) => {
+                            match Value::decode(bytes::Bytes::from(payload)) {
+                                Ok(v) => self.data.set(into, v),
+                                Err(e) => return self.fail(format!("recv decode: {e}")),
+                            }
+                        }
+                        None => {
+                            // Not here yet: retry on the next wakeup.
+                            self.script.push_front(Op::Recv { from, tag, into });
+                            self.stats.ops_executed -= 1;
+                            return ProcPoll::Blocked;
+                        }
+                    }
+                }
+                Op::Apply(f) => f(&mut self.data, self.rank, self.size),
+                Op::Gen(f) => {
+                    let ops = f(&mut self.data, self.rank, self.size);
+                    push_front(&mut self.script, ops);
+                }
+                Op::DiskWriteSlot { slot } => {
+                    let bytes = self
+                        .data
+                        .get(&slot)
+                        .map(|v| v.wire_len() as u64)
+                        .unwrap_or(0);
+                    let done_at = ctx.disk.write(ctx.now, bytes);
+                    return ProcPoll::SleepUntil(done_at);
+                }
+                Op::DiskWrite { bytes } => {
+                    let done_at = ctx.disk.write(ctx.now, bytes);
+                    return ProcPoll::SleepUntil(done_at);
+                }
+                Op::Marker(m) => {
+                    self.stats.markers.push((m, ctx.now));
+                }
+            }
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut GuestCtx<'_>) -> ProcPoll {
+        if let Err(e) = self.pump_io(ctx) {
+            return self.fail(e);
+        }
+        if self.tx_drained() {
+            self.phase = Phase::Done;
+            self.stats.finished_at = Some(ctx.now);
+            ProcPoll::Done
+        } else {
+            ProcPoll::Blocked
+        }
+    }
+
+    fn fail(&mut self, msg: String) -> ProcPoll {
+        self.phase = Phase::Failed(msg.clone());
+        ProcPoll::Failed(msg)
+    }
+}
+
+impl GuestProc for MpiRuntime {
+    fn poll(&mut self, ctx: &mut GuestCtx<'_>) -> ProcPoll {
+        if self.stats.started_at.is_none() {
+            self.stats.started_at = Some(ctx.now);
+        }
+        match &self.phase {
+            Phase::Done => return ProcPoll::Done,
+            Phase::Failed(e) => return ProcPoll::Failed(e.clone()),
+            _ => {}
+        }
+        if let Err(e) = self.pump_io(ctx) {
+            return self.fail(e);
+        }
+        match self.phase {
+            Phase::Connecting => {
+                if self.mesh_ready(ctx) {
+                    self.phase = Phase::Running;
+                    self.step_script(ctx)
+                } else {
+                    ProcPoll::Blocked
+                }
+            }
+            Phase::Running => self.step_script(ctx),
+            Phase::Draining => self.drain(ctx),
+            _ => unreachable!(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn GuestProc> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "mpi-rank"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout() {
+        let rt = MpiRuntime::new(3, 4, vec![Addr::Virt(dvc_net::VirtAddr(0)); 4], 1.0, vec![], RankData::new());
+        let f = rt.frame(7, b"abc");
+        assert_eq!(f.len(), HDR + 3);
+        assert_eq!(u32::from_le_bytes(f[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(f[4..8].try_into().unwrap()), 7);
+        assert_eq!(u32::from_le_bytes(f[8..12].try_into().unwrap()), 3);
+        assert_eq!(&f[12..], b"abc");
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let mut rt = MpiRuntime::new(0, 1, vec![Addr::Virt(dvc_net::VirtAddr(0))], 1.0, vec![], RankData::new());
+        rt.post(0, 5, Value::U64(9).encode().to_vec());
+        let msg = rt.inbox.get_mut(&(0, 5)).unwrap().pop_front().unwrap();
+        assert_eq!(Value::decode(bytes::Bytes::from(msg)).unwrap(), Value::U64(9));
+        assert_eq!(rt.stats.msgs_sent, 1);
+        assert_eq!(rt.stats.msgs_received, 1);
+    }
+
+    #[test]
+    fn parse_frames_handles_partials() {
+        let mut rt = MpiRuntime::new(0, 2, vec![Addr::Virt(dvc_net::VirtAddr(0)); 2], 1.0, vec![], RankData::new());
+        let payload = Value::F64(2.5).encode().to_vec();
+        let mut f = MpiRuntime::new(1, 2, vec![Addr::Virt(dvc_net::VirtAddr(0)); 2], 1.0, vec![], RankData::new())
+            .frame(9, &payload);
+        let second_half = f.split_off(7);
+        rt.peers.entry(1).or_default().rx.extend_from_slice(&f);
+        rt.parse_frames(1);
+        assert!(rt.inbox.is_empty(), "partial frame must not parse");
+        rt.peers.entry(1).or_default().rx.extend_from_slice(&second_half);
+        rt.parse_frames(1);
+        let msg = rt.inbox.get_mut(&(1, 9)).unwrap().pop_front().unwrap();
+        assert_eq!(Value::decode(bytes::Bytes::from(msg)).unwrap(), Value::F64(2.5));
+        assert!(rt.peers[&1].rx.is_empty());
+    }
+}

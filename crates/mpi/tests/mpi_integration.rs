@@ -1,0 +1,302 @@
+//! End-to-end MPI tests: real rank programs over guest TCP on the fabric.
+
+use dvc_cluster::world::ClusterBuilder;
+use dvc_mpi::collectives;
+use dvc_mpi::data::{RankData, Value};
+use dvc_mpi::harness::{self, run_job};
+use dvc_mpi::ops::Op;
+use dvc_sim_core::{Sim, SimTime};
+
+fn sim(nodes: usize) -> Sim<dvc_cluster::world::ClusterWorld> {
+    Sim::new(
+        ClusterBuilder::new()
+            .nodes_per_cluster(nodes)
+            .perfect_clocks()
+            .build(77),
+        77,
+    )
+}
+
+fn horizon() -> SimTime {
+    SimTime::from_secs_f64(300.0)
+}
+
+#[test]
+fn two_rank_pingpong() {
+    let mut s = sim(2);
+    let nodes = s.world.node_ids();
+    let job = harness::launch(&mut s, &nodes, 2, 128, |rank, _size| {
+        let mut data = RankData::new();
+        let ops = if rank == 0 {
+            data.set("ping", Value::U64(41));
+            vec![
+                Op::send(1, 1, "ping"),
+                Op::recv(1, 2, "pong"),
+                Op::Marker("done"),
+            ]
+        } else {
+            vec![
+                Op::recv(0, 1, "ping"),
+                Op::Apply(|d, _r, _s| {
+                    let v = d.u64("ping") + 1;
+                    d.set("pong", Value::U64(v));
+                }),
+                Op::send(0, 2, "pong"),
+            ]
+        };
+        (ops, data)
+    });
+    run_job(&mut s, &job, horizon()).expect("pingpong failed");
+    assert_eq!(harness::rank(&s, &job, 0).data.u64("pong"), 42);
+    let st = &harness::rank(&s, &job, 0).stats;
+    assert_eq!(st.msgs_sent, 1);
+    assert_eq!(st.msgs_received, 1);
+    assert_eq!(st.markers.len(), 1);
+}
+
+#[test]
+fn barrier_synchronizes_all_ranks() {
+    for size in [3, 7, 8] {
+        let mut s = sim(size);
+        let nodes = s.world.node_ids();
+        let job = harness::launch(&mut s, &nodes, size, 128, |rank, size| {
+            let mut ops = Vec::new();
+            // Stagger ranks with different compute so the barrier is real.
+            ops.push(Op::ComputeNs(1_000_000 * (rank as u64 + 1)));
+            ops.extend(collectives::barrier(rank, size, 100));
+            ops.push(Op::Marker("past-barrier"));
+            ops.extend(collectives::barrier(rank, size, 200));
+            (ops, RankData::new())
+        });
+        run_job(&mut s, &job, horizon()).expect("barrier job failed");
+        for r in 0..size {
+            assert_eq!(
+                harness::rank(&s, &job, r).stats.markers.len(),
+                1,
+                "rank {r} missed the barrier marker (size {size})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bcast_delivers_payload_to_all() {
+    let size = 9;
+    let root = 4;
+    let mut s = sim(size);
+    let nodes = s.world.node_ids();
+    let payload: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+    let expect = payload.clone();
+    let job = harness::launch(&mut s, &nodes, size, 128, move |rank, size| {
+        let mut data = RankData::new();
+        if rank == root {
+            data.set("blob", Value::F64Vec(payload.clone()));
+        }
+        (collectives::bcast(root, rank, size, 300, "blob"), data)
+    });
+    run_job(&mut s, &job, horizon()).expect("bcast failed");
+    for r in 0..size {
+        assert_eq!(
+            harness::rank(&s, &job, r).data.vec_f64("blob"),
+            &expect,
+            "rank {r} got a wrong broadcast"
+        );
+    }
+}
+
+fn fold_sum(d: &mut RankData, rank: usize, size: usize) {
+    let _ = rank;
+    let mut total = d.f64("x");
+    for i in 0..size {
+        let key = format!("x.from.{i}");
+        if d.contains(&key) {
+            total += d.f64(&key);
+        }
+    }
+    d.set("x", Value::F64(total));
+}
+
+#[test]
+fn allreduce_sums_across_ranks() {
+    let size = 6;
+    let mut s = sim(size);
+    let nodes = s.world.node_ids();
+    let job = harness::launch(&mut s, &nodes, size, 128, |rank, size| {
+        let mut data = RankData::new();
+        data.set("x", Value::F64((rank + 1) as f64));
+        (collectives::allreduce(rank, size, 400, "x", fold_sum), data)
+    });
+    run_job(&mut s, &job, horizon()).expect("allreduce failed");
+    let expect = (size * (size + 1) / 2) as f64;
+    for r in 0..size {
+        assert_eq!(
+            harness::rank(&s, &job, r).data.f64("x"),
+            expect,
+            "rank {r} sum mismatch"
+        );
+    }
+}
+
+#[test]
+fn alltoall_exchanges_distinct_blocks() {
+    let size = 5;
+    let mut s = sim(size);
+    let nodes = s.world.node_ids();
+    let job = harness::launch(&mut s, &nodes, size, 128, |rank, size| {
+        let mut data = RankData::new();
+        for to in 0..size {
+            if to == rank {
+                continue;
+            }
+            // Block content encodes (sender, receiver).
+            data.set(
+                format!("t.send.{to}"),
+                Value::U64Vec(vec![rank as u64, to as u64, 1000 + (rank * size + to) as u64]),
+            );
+        }
+        (collectives::alltoall(rank, size, 500, "t"), data)
+    });
+    run_job(&mut s, &job, horizon()).expect("alltoall failed");
+    for r in 0..size {
+        let rt = harness::rank(&s, &job, r);
+        for from in 0..size {
+            if from == r {
+                continue;
+            }
+            let blk = rt
+                .data
+                .get(&format!("t.recv.{from}"))
+                .and_then(Value::as_u64_vec)
+                .unwrap_or_else(|| panic!("rank {r} missing block from {from}"));
+            assert_eq!(
+                blk,
+                &vec![from as u64, r as u64, 1000 + (from * size + r) as u64]
+            );
+        }
+    }
+}
+
+#[test]
+fn iterative_ring_with_gen_loops() {
+    // Each rank circulates a counter around the ring ITER times using a
+    // Gen-driven loop; total hops = ITER * size.
+    const ITER: u64 = 20;
+    fn loop_gen(d: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
+        let iter = d.u64("iter");
+        if iter >= ITER {
+            return vec![Op::Marker("ring-done")];
+        }
+        d.set("iter", Value::U64(iter + 1));
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        let mut ops = vec![Op::ComputeNs(50_000)];
+        if rank == 0 {
+            ops.push(Op::Apply(|d, _r, _s| {
+                let v = d.u64("token") + 1;
+                d.set("token", Value::U64(v));
+            }));
+            ops.push(Op::send(next, 900, "token"));
+            ops.push(Op::recv(prev, 900, "token"));
+        } else {
+            ops.push(Op::recv(prev, 900, "token"));
+            ops.push(Op::Apply(|d, _r, _s| {
+                let v = d.u64("token") + 1;
+                d.set("token", Value::U64(v));
+            }));
+            ops.push(Op::send(next, 900, "token"));
+        }
+        ops.push(Op::Gen(loop_gen));
+        ops
+    }
+    let size = 8;
+    let mut s = sim(4); // 8 ranks on 4 nodes: two VMs per node
+    let nodes = s.world.node_ids();
+    let job = harness::launch(&mut s, &nodes, size, 128, |_rank, _size| {
+        let mut data = RankData::new();
+        data.set("iter", Value::U64(0));
+        data.set("token", Value::U64(0));
+        (vec![Op::Gen(loop_gen)], data)
+    });
+    run_job(&mut s, &job, horizon()).expect("ring failed");
+    // Token was incremented once per rank per lap.
+    let token = harness::rank(&s, &job, 0).data.u64("token");
+    assert_eq!(token, ITER * size as u64);
+}
+
+#[test]
+fn job_runs_are_deterministic() {
+    let run = || {
+        let size = 4;
+        let mut s = sim(size);
+        let nodes = s.world.node_ids();
+        let job = harness::launch(&mut s, &nodes, size, 128, |rank, size| {
+            let mut ops = vec![Op::ComputeNs(123_456 * (rank as u64 + 1))];
+            ops.extend(collectives::barrier(rank, size, 100));
+            ops.extend(collectives::alltoall(rank, size, 600, "t"));
+            let mut data = RankData::new();
+            for to in 0..size {
+                if to != rank {
+                    data.set(format!("t.send.{to}"), Value::U64(to as u64));
+                }
+            }
+            (ops, data)
+        });
+        let end = run_job(&mut s, &job, horizon()).expect("job failed");
+        let st = harness::rank(&s, &job, 0).stats.clone();
+        (end, st.msgs_sent, st.bytes_sent)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn large_sparse_ring_avoids_full_mesh() {
+    // 128 ranks on 16 nodes with the ring hint: only 2 connections per rank.
+    let size = 128;
+    let mut s = sim(16);
+    let nodes = s.world.node_ids();
+    fn lap(d: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
+        let iter = d.u64("iter");
+        if iter >= 3 {
+            return vec![Op::Marker("done")];
+        }
+        d.set("iter", Value::U64(iter + 1));
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        let tag = 700 + iter as u32;
+        let mut ops = vec![Op::Apply(|d, r, _s| d.set("tok", Value::U64(r as u64)))];
+        if rank % 2 == 0 {
+            ops.push(Op::send(next, tag, "tok"));
+            ops.push(Op::recv(prev, tag, "got"));
+        } else {
+            ops.push(Op::recv(prev, tag, "got"));
+            ops.push(Op::send(next, tag, "tok"));
+        }
+        ops.push(Op::Gen(lap));
+        ops
+    }
+    let job = dvc_mpi::harness::launch_hinted(
+        &mut s,
+        &nodes,
+        size,
+        64,
+        |_r, _s| {
+            let mut d = RankData::new();
+            d.set("iter", Value::U64(0));
+            (vec![Op::Gen(lap)], d)
+        },
+        dvc_mpi::harness::ring_hint,
+    );
+    run_job(&mut s, &job, horizon()).expect("sparse ring failed");
+    for r in 0..size {
+        let rt = harness::rank(&s, &job, r);
+        let prev = (r + size - 1) % size;
+        assert_eq!(rt.data.u64("got"), prev as u64);
+        // Guest TCP really only holds the sparse connection set.
+        let vm = s.world.vm(job.vms[r]).unwrap();
+        assert!(
+            vm.guest.tcp.socket_count() <= 4,
+            "rank {r} has {} sockets",
+            vm.guest.tcp.socket_count()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # dvc-net
+//!
+//! The simulated cluster network: switched fabric, UDP datagrams, and a
+//! **full TCP implementation** — the mechanism Lazy Synchronous Checkpointing
+//! leans on.
+//!
+//! Layering:
+//!
+//! * [`addr`] — physical and *virtual* addresses. Virtual machines own
+//!   virtual addresses whose binding to a physical NIC is updated on
+//!   migration, which is how DVC keeps established connections alive across
+//!   host changes.
+//! * [`packet`] — wire representation (Ethernet/IP/TCP-sized overheads).
+//! * [`fabric`] — NICs, drop-tail queued links, switches, static shortest-
+//!   path routing, per-hop loss; delivery hands packets to the world via the
+//!   [`fabric::NetWorld`] trait.
+//! * [`udp`] — a minimal datagram service (used by NTP and control traffic).
+//! * [`tcp`] — connection state machine, sliding window, RFC 6298
+//!   retransmission with exponential backoff and a **finite retry budget**
+//!   ending in a connection RESET. That budget is the "finite amount of time
+//!   to save all virtual machines … before a network timeout occurs and
+//!   causes the application to crash" (paper §3) — checkpoint failures in
+//!   this reproduction *emerge* from this code path, they are never injected.
+//! * [`testkit`] — a tiny two-host world harness used by unit tests here and
+//!   reused by downstream crates' tests.
+
+pub mod addr;
+pub mod fabric;
+pub mod packet;
+pub mod tcp;
+pub mod testkit;
+pub mod udp;
+
+pub use addr::{Addr, NicId, PhysAddr, SockAddr, VirtAddr};
+pub use fabric::{Fabric, LinkParams, NetWorld, SwitchId};
+pub use packet::{Packet, TcpSegment, UdpDatagram, L4};
+pub use tcp::{SockEvent, SockId, StackOutput, TcpConfig, TcpStack};

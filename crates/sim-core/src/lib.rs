@@ -1,0 +1,34 @@
+//! # dvc-sim-core
+//!
+//! Deterministic discrete-event simulation (DES) kernel underpinning the
+//! Dynamic Virtual Clustering reproduction.
+//!
+//! The kernel is deliberately small and fully deterministic:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
+//! * [`Sim`] — the engine. It owns the simulated clock, a stable-ordered
+//!   event queue of boxed `FnOnce(&mut Sim<W>)` handlers, the user-supplied
+//!   world `W`, and a set of named deterministic RNG streams.
+//! * [`rng::RngStreams`] — independent random streams derived from one master
+//!   seed by hashing stream labels, so adding a consumer never perturbs the
+//!   draws seen by existing consumers.
+//! * [`stats`] — counters, online mean/variance and sample histograms used by
+//!   every experiment harness.
+//! * [`trial`] — a data-parallel campaign runner that fans independent
+//!   simulation trials out across OS threads (each trial is single-threaded
+//!   and seeded, so campaigns are reproducible and embarrassingly parallel).
+//!
+//! Everything above this crate (network, hypervisor, MPI, DVC itself) is
+//! expressed as state inside `W` plus events scheduled on the same queue.
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod trial;
+
+pub use rng::RngStreams;
+pub use sim::{EventHandle, Sim};
+pub use time::{SimDuration, SimTime};

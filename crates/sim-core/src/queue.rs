@@ -1,0 +1,133 @@
+//! The event queue: a binary heap of `(time, sequence)`-ordered entries.
+//!
+//! Ties on `time` are broken by insertion sequence number, giving stable FIFO
+//! semantics for simultaneous events — a hard requirement for determinism
+//! (two events scheduled for the same instant always run in scheduling
+//! order, on every platform, for every seed).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A queued event: an opaque handler plus its firing time and sequence.
+pub struct Entry<E> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the *earliest* entry is the max.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable min-priority queue over `(SimTime, seq)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Insert an event at `time`, returning its unique sequence number.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        seq
+    }
+
+    /// Remove and return the earliest entry.
+    pub fn pop(&mut self) -> Option<Entry<E>> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest entry, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (== next sequence number).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 1);
+        q.push(SimTime(5), 0);
+        assert_eq!(q.pop().unwrap().event, 0);
+        q.push(SimTime(7), 2);
+        q.push(SimTime(7), 3);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 4);
+    }
+}

@@ -1,0 +1,279 @@
+//! The simulation engine.
+//!
+//! [`Sim<W>`] bundles the clock, the event queue, the RNG streams, a trace
+//! sink and the user world `W` into one value, so event handlers — boxed
+//! `FnOnce(&mut Sim<W>)` — can mutate the world *and* schedule further events
+//! without fighting the borrow checker.
+//!
+//! Cancellation uses tombstones: [`Sim::cancel`] marks a handle dead and the
+//! dispatch loop skips dead entries when they surface. Components that re-arm
+//! timers aggressively (the TCP stack) instead use the *generation pattern*:
+//! the event closure captures a generation counter and checks it against the
+//! component's current one, making stale wakeups self-invalidating without
+//! queue surgery.
+
+use crate::queue::EventQueue;
+use crate::rng::RngStreams;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use std::collections::HashSet;
+
+/// A handle to a scheduled event, usable with [`Sim::cancel`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+/// Why [`Sim::run`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The time horizon was reached (clock is set to the horizon).
+    Horizon,
+    /// The event budget was exhausted (livelock guard).
+    EventBudget,
+    /// A handler called [`Sim::request_stop`].
+    Requested,
+}
+
+/// The discrete-event simulation engine.
+pub struct Sim<W> {
+    now: SimTime,
+    queue: EventQueue<BoxedEvent<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    stop_requested: bool,
+    /// Named deterministic RNG streams (see [`RngStreams`]).
+    pub rng: RngStreams,
+    /// Event trace sink (disabled by default).
+    pub trace: Trace,
+    /// The user world: every model layer keeps its state here.
+    pub world: W,
+}
+
+impl<W> Sim<W> {
+    pub fn new(world: W, seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            stop_requested: false,
+            rng: RngStreams::new(seed),
+            trace: Trace::disabled(),
+            world,
+        }
+    }
+
+    /// Current simulated (true) time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at` (clamped to now if in the past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut Sim<W>) + 'static,
+    {
+        let t = at.max(self.now);
+        EventHandle(self.queue.push(t, Box::new(f)))
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut Sim<W>) + 'static,
+    {
+        let at = self.now + delay;
+        EventHandle(self.queue.push(at, Box::new(f)))
+    }
+
+    /// Schedule `f` to run as the next event at the current instant.
+    pub fn schedule_now<F>(&mut self, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut Sim<W>) + 'static,
+    {
+        EventHandle(self.queue.push(self.now, Box::new(f)))
+    }
+
+    /// Cancel a scheduled event. Cancelling an already-fired or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Ask the run loop to stop after the current handler returns.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Execute the next event, if any. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(entry) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.executed += 1;
+            (entry.event)(self);
+            return true;
+        }
+    }
+
+    /// Run until the queue empties, `horizon` is reached, `max_events` are
+    /// executed, or a handler requests a stop. Events scheduled exactly at
+    /// the horizon do not run; the clock is left at the horizon.
+    pub fn run(&mut self, horizon: SimTime, max_events: u64) -> StopReason {
+        let budget_end = self.executed.saturating_add(max_events);
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return StopReason::Requested;
+            }
+            if self.executed >= budget_end {
+                return StopReason::EventBudget;
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::QueueEmpty,
+                Some(t) if t >= horizon => {
+                    self.now = horizon;
+                    return StopReason::Horizon;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run with no time horizon (still bounded by `max_events`).
+    pub fn run_to_completion(&mut self, max_events: u64) -> StopReason {
+        self.run(SimTime::NEVER, max_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+        ticks: u32,
+    }
+
+    fn logit(sim: &mut Sim<World>, tag: &'static str) {
+        let t = sim.now().nanos();
+        sim.world.log.push((t, tag));
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(World::default(), 1);
+        sim.schedule_at(SimTime(300), |s| logit(s, "c"));
+        sim.schedule_at(SimTime(100), |s| logit(s, "a"));
+        sim.schedule_at(SimTime(200), |s| logit(s, "b"));
+        assert_eq!(sim.run_to_completion(1000), StopReason::QueueEmpty);
+        assert_eq!(sim.world.log, vec![(100, "a"), (200, "b"), (300, "c")]);
+        assert_eq!(sim.now(), SimTime(300));
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Sim::new(World::default(), 1);
+        fn tick(sim: &mut Sim<World>) {
+            sim.world.ticks += 1;
+            if sim.world.ticks < 5 {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        sim.schedule_now(tick);
+        sim.run_to_completion(1000);
+        assert_eq!(sim.world.ticks, 5);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut sim = Sim::new(World::default(), 1);
+        let h = sim.schedule_at(SimTime(50), |s| logit(s, "dead"));
+        sim.schedule_at(SimTime(60), |s| logit(s, "alive"));
+        sim.cancel(h);
+        sim.run_to_completion(100);
+        assert_eq!(sim.world.log, vec![(60, "alive")]);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut sim = Sim::new(World::default(), 1);
+        sim.schedule_at(SimTime(100), |s| logit(s, "early"));
+        sim.schedule_at(SimTime(500), |s| logit(s, "late"));
+        let r = sim.run(SimTime(200), 1000);
+        assert_eq!(r, StopReason::Horizon);
+        assert_eq!(sim.now(), SimTime(200));
+        assert_eq!(sim.world.log, vec![(100, "early")]);
+        // resuming picks the late event back up
+        sim.run_to_completion(1000);
+        assert_eq!(sim.world.log.len(), 2);
+    }
+
+    #[test]
+    fn event_budget_guards_livelock() {
+        let mut sim = Sim::new(World::default(), 1);
+        fn forever(sim: &mut Sim<World>) {
+            sim.schedule_now(forever);
+        }
+        sim.schedule_now(forever);
+        assert_eq!(sim.run_to_completion(100), StopReason::EventBudget);
+        assert_eq!(sim.events_executed(), 100);
+    }
+
+    #[test]
+    fn request_stop_halts_loop() {
+        let mut sim = Sim::new(World::default(), 1);
+        sim.schedule_at(SimTime(10), |s| s.request_stop());
+        sim.schedule_at(SimTime(20), |s| logit(s, "never"));
+        assert_eq!(sim.run_to_completion(1000), StopReason::Requested);
+        assert!(sim.world.log.is_empty());
+    }
+
+    #[test]
+    fn same_instant_fifo() {
+        let mut sim = Sim::new(World::default(), 1);
+        for i in 0..10u64 {
+            sim.schedule_at(SimTime(42), move |s| {
+                s.world.log.push((i, "x"));
+            });
+        }
+        sim.run_to_completion(100);
+        let seq: Vec<u64> = sim.world.log.iter().map(|&(i, _)| i).collect();
+        assert_eq!(seq, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim = Sim::new(World::default(), 1);
+        sim.schedule_at(SimTime(100), |s| {
+            // attempt to schedule in the past: must fire at `now` instead
+            s.schedule_at(SimTime(10), |s2| logit(s2, "clamped"));
+        });
+        sim.run_to_completion(100);
+        assert_eq!(sim.world.log, vec![(100, "clamped")]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Lightweight event tracing.
+//!
+//! Models call [`Trace::emit`] with a category and a lazily-formatted message.
+//! Tracing is off by default and costs one branch per call when disabled; when
+//! enabled, records accumulate in a bounded ring so long campaigns cannot
+//! exhaust memory. Categories can be filtered so a test can watch, say, only
+//! `"tcp"` events.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub category: &'static str,
+    pub message: String,
+}
+
+/// A bounded, category-filtered trace sink.
+pub struct Trace {
+    enabled: bool,
+    /// If non-empty, only these categories are recorded.
+    categories: Vec<&'static str>,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+    /// Also print records to stderr as they are emitted (debugging aid).
+    pub echo: bool,
+}
+
+impl Trace {
+    /// A disabled sink (the default for `Sim`).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            categories: Vec::new(),
+            capacity: 0,
+            records: VecDeque::new(),
+            dropped: 0,
+            echo: false,
+        }
+    }
+
+    /// An enabled sink retaining up to `capacity` records.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            categories: Vec::new(),
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+            echo: false,
+        }
+    }
+
+    /// Restrict recording to the given categories.
+    pub fn with_categories(mut self, cats: &[&'static str]) -> Self {
+        self.categories = cats.to_vec();
+        self
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// True when `category` would currently be recorded — check this before
+    /// doing expensive formatting.
+    #[inline]
+    pub fn wants(&self, category: &'static str) -> bool {
+        self.enabled && (self.categories.is_empty() || self.categories.contains(&category))
+    }
+
+    /// Record an event. `msg` is only evaluated by the caller; use
+    /// [`Trace::wants`] to guard costly formatting.
+    pub fn emit(&mut self, time: SimTime, category: &'static str, msg: String) {
+        if !self.wants(category) {
+            return;
+        }
+        if self.echo {
+            eprintln!("[{time}] {category}: {msg}");
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            category,
+            message: msg,
+        });
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records in a single category.
+    pub fn in_category<'a>(&'a self, cat: &'static str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.category == cat)
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Convenience macro: trace with lazy formatting.
+///
+/// ```ignore
+/// sim_trace!(sim, "tcp", "conn {} retransmit seq={}", cid, seq);
+/// ```
+#[macro_export]
+macro_rules! sim_trace {
+    ($sim:expr, $cat:expr, $($arg:tt)*) => {{
+        if $sim.trace.wants($cat) {
+            let now = $sim.now();
+            $sim.trace.emit(now, $cat, format!($($arg)*));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime(1), "x", "hello".into());
+        assert!(t.is_empty());
+        assert!(!t.wants("x"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::enabled(3);
+        for i in 0..5 {
+            t.emit(SimTime(i), "c", format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::enabled(10).with_categories(&["tcp"]);
+        t.emit(SimTime(0), "tcp", "kept".into());
+        t.emit(SimTime(0), "vmm", "filtered".into());
+        assert_eq!(t.len(), 1);
+        assert!(t.wants("tcp"));
+        assert!(!t.wants("vmm"));
+        assert_eq!(t.in_category("tcp").count(), 1);
+        assert_eq!(t.in_category("vmm").count(), 0);
+    }
+}

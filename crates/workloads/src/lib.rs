@@ -1,0 +1,73 @@
+//! # dvc-workloads
+//!
+//! The benchmark applications the paper evaluates LSC with, rebuilt as rank
+//! programs for `dvc-mpi`:
+//!
+//! * [`hpl`] — an HPL-like distributed LU factorization with partial
+//!   pivoting (1-D column-block-cyclic layout): panel factorization on the
+//!   owner, panel broadcast, pivot application and trailing-matrix update on
+//!   every rank. It computes on **real matrices** and ends with a residual
+//!   check, so a checkpoint that loses or duplicates a single message is
+//!   caught numerically. It also self-reports its runtime using the guest
+//!   wall clock — reproducing the paper's observation that the un-virtualized
+//!   clock jump inflates HPL's reported time.
+//! * [`ptrans`] — a PTRANS-like distributed matrix transpose (row-block
+//!   layout, pairwise all-to-all exchange), "the most important test for
+//!   verifying that our conclusions about consistent network states were
+//!   correct" (paper §3.2) because it is communication-dominated.
+//! * [`stream`] — a STREAM-like sequential (single-rank) memory benchmark,
+//!   the "sequential job" arm of the overhead experiments.
+//! * [`ring`] — a continuous ring-exchange stressor used by the LSC failure
+//!   experiments: it keeps TCP traffic in flight so checkpoint skew has
+//!   something to break.
+//!
+//! All generators are deterministic in their parameters, so any two ranks
+//! (or a verifier) can regenerate the same source matrices independently.
+
+pub mod hpl;
+pub mod ptrans;
+pub mod ring;
+pub mod stream;
+
+/// Deterministic matrix element generator: well-conditioned, non-symmetric.
+/// `gen_a(seed, i, j)` is the (i, j) element of the virtual source matrix.
+pub fn gen_a(seed: u64, i: usize, j: usize) -> f64 {
+    // Hash (seed, i, j) into [-0.5, 0.5), plus diagonal dominance for a
+    // stable LU without pathological pivot growth.
+    let h = dvc_sim_core::rng::splitmix64(
+        seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
+    );
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    if i == j {
+        frac + 4.0
+    } else {
+        frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_a_is_deterministic_and_spread() {
+        assert_eq!(gen_a(1, 3, 5), gen_a(1, 3, 5));
+        assert_ne!(gen_a(1, 3, 5), gen_a(2, 3, 5));
+        assert_ne!(gen_a(1, 3, 5), gen_a(1, 5, 3), "non-symmetric");
+        // Diagonal dominance.
+        assert!(gen_a(9, 7, 7) > 3.0);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..50 {
+            for j in 0..50 {
+                if i != j {
+                    let v = gen_a(42, i, j);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        assert!(lo >= -0.5 && hi < 0.5);
+        assert!(hi - lo > 0.8, "values should fill the range");
+    }
+}

@@ -1,0 +1,217 @@
+//! PTRANS-like distributed matrix transpose.
+//!
+//! Layout: **row-block**. Rank r owns rows `r·m .. (r+1)·m` of the n×n
+//! matrix A (m = n / size). Computing B = Aᵀ needs rank r to obtain column
+//! slice `r·m..(r+1)·m` of every other rank's rows — a textbook pairwise
+//! all-to-all, which is why the paper calls PTRANS "a communication heavy
+//! test … the most important test for verifying that our conclusions about
+//! consistent network states were correct" (§3.2).
+//!
+//! Every rank ends by verifying `B[i][j] == A[j][i]` element-wise against
+//! the regenerated source, so any message corruption across a checkpoint is
+//! detected locally, without a gather.
+
+use crate::gen_a;
+use dvc_mpi::collectives;
+use dvc_mpi::data::{RankData, Value};
+use dvc_mpi::ops::Op;
+
+const TAG_XCHG: u32 = 20_000;
+const TAG_SYNC: u32 = 21_000;
+
+/// PTRANS job parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PtransConfig {
+    /// Matrix dimension (must be divisible by the rank count at launch).
+    pub n: usize,
+    pub seed: u64,
+    /// Number of transpose repetitions (HPCC runs several).
+    pub reps: usize,
+}
+
+impl PtransConfig {
+    pub fn new(n: usize, seed: u64) -> Self {
+        PtransConfig { n, seed, reps: 1 }
+    }
+
+    pub fn with_reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Bytes each rank ships per transpose (everything except its own block).
+    pub fn bytes_per_rank(&self, size: usize) -> u64 {
+        let m = self.n / size;
+        ((size - 1) * m * m * 8) as u64
+    }
+}
+
+/// Build the per-rank PTRANS program.
+pub fn program(cfg: PtransConfig, rank: usize, size: usize) -> (Vec<Op>, RankData) {
+    assert!(cfg.n % size == 0, "n must be divisible by the rank count");
+    let m = cfg.n / size;
+    let mut data = RankData::new();
+    data.set("pt.n", Value::U64(cfg.n as u64));
+    data.set("pt.seed", Value::U64(cfg.seed));
+    data.set("pt.rep", Value::U64(0));
+    data.set("pt.reps", Value::U64(cfg.reps as u64));
+
+    // Own rows, row-major m×n.
+    let mut rows = vec![0.0f64; m * cfg.n];
+    for li in 0..m {
+        let i = rank * m + li;
+        for j in 0..cfg.n {
+            rows[li * cfg.n + j] = gen_a(cfg.seed, i, j);
+        }
+    }
+    data.set("rows", Value::F64Vec(rows));
+
+    let ops = vec![Op::Marker("ptrans-start"), Op::Gen(rep_step)];
+    (ops, data)
+}
+
+/// One transpose repetition.
+fn rep_step(data: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
+    let rep = data.u64("pt.rep");
+    let reps = data.u64("pt.reps");
+    if rep >= reps {
+        let mut ops = collectives::barrier(rank, size, TAG_SYNC);
+        ops.push(Op::Marker("ptrans-end"));
+        return ops;
+    }
+    data.set("pt.rep", Value::U64(rep + 1));
+
+    let n = data.u64("pt.n") as usize;
+    let m = n / size;
+    let tag = TAG_XCHG + rep as u32 * collectives::TAGS_PER_COLLECTIVE;
+
+    let mut ops = Vec::new();
+    // Cut the row block into per-destination m×m column slices.
+    ops.push(Op::Apply(slice_blocks));
+    // Packing/unpacking cost: ~1 op per element shipped.
+    ops.push(Op::Compute {
+        flops: ((size - 1) * m * m) as f64,
+    });
+    ops.extend(collectives::alltoall(rank, size, tag, "pt"));
+    // Assemble B's rows from received blocks (plus the local diagonal one).
+    ops.push(Op::Apply(assemble_transpose));
+    ops.push(Op::Compute {
+        flops: (m * n) as f64,
+    });
+    ops.push(Op::Apply(verify_rep));
+    ops.push(Op::Gen(rep_step));
+    ops
+}
+
+/// Split own rows into `pt.send.{to}` blocks: block for `to` is columns
+/// `to·m..(to+1)·m`, stored row-major m×m.
+fn slice_blocks(data: &mut RankData, rank: usize, size: usize) {
+    let n = data.u64("pt.n") as usize;
+    let m = n / size;
+    let rows = data.vec_f64("rows").clone();
+    for to in 0..size {
+        if to == rank {
+            continue;
+        }
+        let mut blk = Vec::with_capacity(m * m);
+        for li in 0..m {
+            blk.extend_from_slice(&rows[li * n + to * m..li * n + (to + 1) * m]);
+        }
+        data.set(format!("pt.send.{to}"), Value::F64Vec(blk));
+    }
+}
+
+/// Build `brows` (m×n row-major) = our rows of B = Aᵀ.
+fn assemble_transpose(data: &mut RankData, rank: usize, size: usize) {
+    let n = data.u64("pt.n") as usize;
+    let m = n / size;
+    let rows = data.vec_f64("rows").clone();
+    let mut b = vec![0.0f64; m * n];
+    // Diagonal block comes from our own rows: B[i][j] = A[j][i] with both
+    // i and j in our stripe.
+    for li in 0..m {
+        for lj in 0..m {
+            b[li * n + rank * m + lj] = rows[lj * n + rank * m + li];
+        }
+    }
+    // Off-diagonal blocks from peers: the block received from `from`
+    // contains A[from-rows][our-cols], i.e. A[j][i] values we transpose in.
+    for from in 0..size {
+        if from == rank {
+            continue;
+        }
+        let blk = data.vec_f64(&format!("pt.recv.{from}")).clone();
+        assert_eq!(blk.len(), m * m, "bad block from {from}");
+        for bj in 0..m {
+            for bi in 0..m {
+                // blk[bj][bi] = A[from·m + bj][rank·m + bi]
+                b[bi * n + from * m + bj] = blk[bj * m + bi];
+            }
+        }
+    }
+    data.set("brows", Value::F64Vec(b));
+}
+
+/// Verify our stripe of B against the regenerated source.
+fn verify_rep(data: &mut RankData, rank: usize, size: usize) {
+    let n = data.u64("pt.n") as usize;
+    let seed = data.u64("pt.seed");
+    let m = n / size;
+    let b = data.vec_f64("brows").clone();
+    let mut worst: f64 = 0.0;
+    for li in 0..m {
+        let i = rank * m + li;
+        for j in 0..n {
+            let want = gen_a(seed, j, i); // B[i][j] = A[j][i]
+            worst = worst.max((b[li * n + j] - want).abs());
+        }
+    }
+    data.set("pt.worst_err", Value::F64(worst));
+    if worst != 0.0 {
+        // Transpose moves bits unchanged: anything non-zero is corruption.
+        data.set("pt.corrupt", Value::U64(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run the data plane of one transpose locally for 3 "ranks" by wiring
+    /// the send slots straight into recv slots.
+    #[test]
+    fn local_transpose_roundtrip() {
+        let size = 3;
+        let cfg = PtransConfig::new(12, 5);
+        let mut datas: Vec<RankData> = (0..size).map(|r| program(cfg, r, size).1).collect();
+        for (r, d) in datas.iter_mut().enumerate() {
+            slice_blocks(d, r, size);
+        }
+        // Deliver blocks.
+        for from in 0..size {
+            for to in 0..size {
+                if from == to {
+                    continue;
+                }
+                let blk = datas[from]
+                    .get(&format!("pt.send.{to}"))
+                    .cloned()
+                    .unwrap();
+                datas[to].set(format!("pt.recv.{from}"), blk);
+            }
+        }
+        for (r, d) in datas.iter_mut().enumerate() {
+            assemble_transpose(d, r, size);
+            verify_rep(d, r, size);
+            assert_eq!(d.f64("pt.worst_err"), 0.0, "rank {r} corrupted");
+            assert!(!d.contains("pt.corrupt"));
+        }
+    }
+
+    #[test]
+    fn bytes_per_rank_accounts_offdiagonal() {
+        let cfg = PtransConfig::new(120, 1);
+        // 4 ranks, m=30: 3 blocks of 900 doubles.
+        assert_eq!(cfg.bytes_per_rank(4), 3 * 900 * 8);
+    }
+}

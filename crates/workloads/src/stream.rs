@@ -1,0 +1,137 @@
+//! STREAM-like sequential memory benchmark (the "sequential job" arm of the
+//! virtualization-overhead experiments).
+//!
+//! A single rank runs `reps` triad passes `a[i] = b[i] + s·c[i]` over
+//! `len`-element arrays. The arithmetic really happens (and is verified);
+//! the *time* charged per pass is `3·8·len / mem_bw` — STREAM is bandwidth-
+//! bound, so memory bandwidth, not flops, sets the pace.
+
+use dvc_mpi::data::{RankData, Value};
+use dvc_mpi::ops::Op;
+
+/// STREAM job parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Elements per array.
+    pub len: usize,
+    /// Triad passes.
+    pub reps: usize,
+    /// Node memory bandwidth, bytes/s (2007-era node: ~6 GB/s).
+    pub mem_bw_bps: f64,
+    pub scalar: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            len: 1 << 16,
+            reps: 20,
+            mem_bw_bps: 6.0e9,
+            scalar: 3.0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Modelled wall time of one triad pass, ns.
+    pub fn pass_ns(&self) -> u64 {
+        (3.0 * 8.0 * self.len as f64 / self.mem_bw_bps * 1e9) as u64
+    }
+}
+
+/// Build the (single-rank) STREAM program.
+pub fn program(cfg: StreamConfig, rank: usize, size: usize) -> (Vec<Op>, RankData) {
+    assert_eq!(size, 1, "STREAM is the sequential workload");
+    assert_eq!(rank, 0);
+    let mut data = RankData::new();
+    data.set("st.len", Value::U64(cfg.len as u64));
+    data.set("st.reps", Value::U64(cfg.reps as u64));
+    data.set("st.rep", Value::U64(0));
+    data.set("st.scalar", Value::F64(cfg.scalar));
+    data.set("st.pass_ns", Value::U64(cfg.pass_ns()));
+    data.set("a", Value::F64Vec(vec![0.0; cfg.len]));
+    data.set(
+        "b",
+        Value::F64Vec((0..cfg.len).map(|i| i as f64 * 0.25).collect()),
+    );
+    data.set(
+        "c",
+        Value::F64Vec((0..cfg.len).map(|i| (cfg.len - i) as f64).collect()),
+    );
+    (vec![Op::Marker("stream-start"), Op::Gen(step)], data)
+}
+
+fn step(data: &mut RankData, _rank: usize, _size: usize) -> Vec<Op> {
+    let rep = data.u64("st.rep");
+    let reps = data.u64("st.reps");
+    if rep >= reps {
+        return vec![Op::Apply(verify), Op::Marker("stream-end")];
+    }
+    data.set("st.rep", Value::U64(rep + 1));
+    let pass_ns = data.u64("st.pass_ns");
+    vec![
+        Op::Apply(triad),
+        Op::ComputeNs(pass_ns),
+        Op::Gen(step),
+    ]
+}
+
+fn triad(data: &mut RankData, _rank: usize, _size: usize) {
+    let s = data.f64("st.scalar");
+    let b = data.vec_f64("b").clone();
+    let c = data.vec_f64("c").clone();
+    let a = data.vec_f64_mut("a");
+    for i in 0..a.len() {
+        a[i] = b[i] + s * c[i];
+    }
+}
+
+fn verify(data: &mut RankData, _rank: usize, _size: usize) {
+    let s = data.f64("st.scalar");
+    let len = data.u64("st.len") as usize;
+    let a = data.vec_f64("a");
+    let mut worst: f64 = 0.0;
+    for (i, &v) in a.iter().enumerate() {
+        let want = i as f64 * 0.25 + s * (len - i) as f64;
+        worst = worst.max((v - want).abs());
+    }
+    data.set("st.worst_err", Value::F64(worst));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_math_verifies() {
+        let cfg = StreamConfig {
+            len: 128,
+            reps: 2,
+            ..StreamConfig::default()
+        };
+        let (_, mut data) = program(cfg, 0, 1);
+        triad(&mut data, 0, 1);
+        verify(&mut data, 0, 1);
+        assert_eq!(data.f64("st.worst_err"), 0.0);
+    }
+
+    #[test]
+    fn pass_time_scales_with_length_and_bw() {
+        let a = StreamConfig {
+            len: 1 << 20,
+            mem_bw_bps: 6.0e9,
+            ..StreamConfig::default()
+        };
+        let b = StreamConfig {
+            len: 1 << 21,
+            mem_bw_bps: 6.0e9,
+            ..StreamConfig::default()
+        };
+        assert!((b.pass_ns() as f64 / a.pass_ns() as f64 - 2.0).abs() < 0.01);
+        let fast = StreamConfig {
+            mem_bw_bps: 12.0e9,
+            ..a
+        };
+        assert!((a.pass_ns() as f64 / fast.pass_ns() as f64 - 2.0).abs() < 0.01);
+    }
+}
