@@ -30,8 +30,7 @@ fn bench_cycle(c: &mut Criterion) {
                     (sim, vc_id)
                 },
                 |(mut sim, vc_id)| {
-                    let outs =
-                        run_cycles(&mut sim, vc_id, method, 1, SimDuration::from_secs(1));
+                    let outs = run_cycles(&mut sim, vc_id, method, 1, SimDuration::from_secs(1));
                     assert!(outs[0].success);
                     sim
                 },

@@ -66,7 +66,11 @@ fn bench_bulk(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut sim = Sim::new(
-                        TestWorld::new(2, LinkParams::gige_lan().with_loss(loss), TcpConfig::default()),
+                        TestWorld::new(
+                            2,
+                            LinkParams::gige_lan().with_loss(loss),
+                            TcpConfig::default(),
+                        ),
                         9,
                     );
                     let (sa, sb) = establish(&mut sim);

@@ -41,7 +41,12 @@ fn lu_once(n: usize, nb: usize) -> f64 {
     let job = harness::launch(&mut sim, &nodes, 1, 128, move |r, s| {
         dvc_workloads::hpl::program(cfg, r, s)
     });
-    run_job(&mut sim, &job, dvc_sim_core::SimTime::from_secs_f64(36000.0)).unwrap();
+    run_job(
+        &mut sim,
+        &job,
+        dvc_sim_core::SimTime::from_secs_f64(36000.0),
+    )
+    .unwrap();
     harness::rank(&sim, &job, 0).data.f64("hpl.residual")
 }
 

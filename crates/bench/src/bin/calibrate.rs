@@ -34,7 +34,10 @@ fn main() {
                 ..TrialWorld::default()
             };
             let (ok, out) = one_cycle_trial(tw, LscMethod::Naive);
-            (ok, out.map(|o| o.pause_skew.as_secs_f64()).unwrap_or(f64::NAN))
+            (
+                ok,
+                out.map(|o| o.pause_skew.as_secs_f64()).unwrap_or(f64::NAN),
+            )
         });
         let fails = rs.iter().filter(|(ok, _)| !ok).count();
         let skew: f64 = rs.iter().map(|r| r.1).sum::<f64>() / trials as f64;

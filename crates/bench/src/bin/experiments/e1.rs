@@ -18,7 +18,9 @@ use dvc_bench::table::Table;
 use dvc_net::fabric::LinkParams;
 use dvc_net::packet::{Packet, L4};
 use dvc_net::tcp::{SockEvent, SockId, TcpConfig};
-use dvc_net::testkit::{drain, local_now, pause, restore, run_until, snapshot, DropRule, TestWorld};
+use dvc_net::testkit::{
+    drain, local_now, pause, restore, run_until, snapshot, DropRule, TestWorld,
+};
 use dvc_sim_core::{Sim, SimDuration, SimTime};
 
 const A: usize = 0;

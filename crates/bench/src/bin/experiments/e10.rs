@@ -18,8 +18,8 @@ use crate::Opts;
 use dvc_bench::scen::{ring_verdict, run_until, settle, TrialWorld};
 use dvc_bench::table::{pct, secs, Table};
 use dvc_cluster::failure::{arm_failures, FailureProcess};
-use dvc_core::reliability::{self, Cadence, Policy};
 use dvc_core::lsc::LscMethod;
+use dvc_core::reliability::{self, Cadence, Policy};
 use dvc_core::vc;
 use dvc_mpi::harness;
 use dvc_sim_core::trial::run_trials;
@@ -68,7 +68,7 @@ fn one(seed: u64, mtbf_s: f64, arm: Arm) -> TrialOut {
                 cadence: Cadence::Fixed(SimDuration::from_secs(60)),
                 method: LscMethod::ntp_default(),
                 max_restores: 32,
-                scan_every: SimDuration::from_secs(5),
+                ..Policy::periodic(SimDuration::from_secs(60))
             },
         ),
         Arm::Young => reliability::manage(
@@ -81,7 +81,7 @@ fn one(seed: u64, mtbf_s: f64, arm: Arm) -> TrialOut {
                 },
                 method: LscMethod::ntp_default(),
                 max_restores: 32,
-                scan_every: SimDuration::from_secs(5),
+                ..Policy::periodic(SimDuration::from_secs(60))
             },
         ),
     }
@@ -142,14 +142,8 @@ pub fn run(opts: Opts) {
                 },
             );
             let succ = rs.iter().filter(|r| r.0).count();
-            let mean_t = rs
-                .iter()
-                .filter(|r| r.0)
-                .map(|r| r.1)
-                .sum::<f64>()
-                / succ.max(1) as f64;
-            let mean_restores =
-                rs.iter().map(|r| r.2 as f64).sum::<f64>() / trials as f64;
+            let mean_t = rs.iter().filter(|r| r.0).map(|r| r.1).sum::<f64>() / succ.max(1) as f64;
+            let mean_restores = rs.iter().map(|r| r.2 as f64).sum::<f64>() / trials as f64;
             t.row(&[
                 format!("{mtbf:.0} s"),
                 name.into(),

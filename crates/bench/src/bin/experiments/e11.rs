@@ -97,10 +97,7 @@ fn run_trace(seed: u64, spanning: bool) -> TraceResult {
     // Run until every job completed.
     while sim.world.ext.get::<Waits>().map(|w| w.1) != Some(n_jobs) {
         assert!(sim.step(), "trace stalled (jobs starved)");
-        assert!(
-            sim.now() < SimTime::from_secs_f64(1e6),
-            "trace runaway"
-        );
+        assert!(sim.now() < SimTime::from_secs_f64(1e6), "trace runaway");
     }
     let waits = &sim.world.ext.get::<Waits>().unwrap().0;
     TraceResult {

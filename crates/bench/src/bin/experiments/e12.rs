@@ -29,7 +29,12 @@ pub fn run(opts: Opts) {
 fn part_a(opts: Opts) {
     println!("### E12a — naive failure rate vs TCP retry budget\n");
     let trials = opts.trials(16);
-    let mut t = Table::new(&["nodes", "retries=3 (~1.4s)", "retries=4 (~3s)", "retries=5 (~6.2s)"]);
+    let mut t = Table::new(&[
+        "nodes",
+        "retries=3 (~1.4s)",
+        "retries=4 (~3s)",
+        "retries=5 (~6.2s)",
+    ]);
     for &n in &[6usize, 8, 10, 12] {
         let mut cells = vec![n.to_string()];
         for &retries in &[3u32, 4, 5] {
@@ -65,7 +70,11 @@ fn part_a(opts: Opts) {
 fn part_b(opts: Opts) {
     println!("### E12b — scheduled-instant checkpoint vs raw clock error (no NTP)\n");
     let trials = opts.trials(16);
-    let mut t = Table::new(&["boot clock error bound", "pairwise skew (≤2×)", "cycle failure rate"]);
+    let mut t = Table::new(&[
+        "boot clock error bound",
+        "pairwise skew (≤2×)",
+        "cycle failure rate",
+    ]);
     for &off_ms in &[1.0f64, 10.0, 100.0, 400.0, 1000.0, 2000.0, 4000.0] {
         let rs = run_trials(
             trials,

@@ -38,7 +38,10 @@ pub fn run(opts: Opts) {
                 ..TrialWorld::default()
             };
             let (ok, out) = one_cycle_trial(tw, LscMethod::Naive);
-            (ok, out.map(|o| o.pause_skew.as_secs_f64()).unwrap_or(f64::NAN))
+            (
+                ok,
+                out.map(|o| o.pause_skew.as_secs_f64()).unwrap_or(f64::NAN),
+            )
         });
         let fails = results.iter().filter(|(ok, _)| !ok).count();
         let skews: Vec<f64> = results

@@ -10,7 +10,7 @@
 //! leave the application alive with verified data.
 
 use crate::Opts;
-use dvc_bench::scen::{ring_verdict, run_cycles, settle, ring_load, TrialWorld};
+use dvc_bench::scen::{ring_load, ring_verdict, run_cycles, settle, TrialWorld};
 use dvc_bench::table::{secs, Table};
 use dvc_core::lsc::LscMethod;
 use dvc_sim_core::trial::run_trials;
@@ -46,8 +46,8 @@ pub fn run(opts: Opts) {
         );
         settle(&mut sim, SimDuration::from_secs(60));
         let v = ring_verdict(&sim, &job);
-        let cycle_fails = outs.iter().filter(|o| !o.success).count()
-            + (cycles_per_world as usize - outs.len());
+        let cycle_fails =
+            outs.iter().filter(|o| !o.success).count() + (cycles_per_world as usize - outs.len());
         let skew_max = outs
             .iter()
             .map(|o| o.pause_skew.as_secs_f64())
@@ -78,7 +78,11 @@ pub fn run(opts: Opts) {
         total_cycles.to_string(),
         ">2000".into(),
     ]);
-    t.row(&["VMs per test".into(), "26 on 26 nodes".into(), "26 on 26 nodes".into()]);
+    t.row(&[
+        "VMs per test".into(),
+        "26 on 26 nodes".into(),
+        "26 on 26 nodes".into(),
+    ]);
     t.row(&[
         "save/restore failures".into(),
         failed_cycles.to_string(),

@@ -67,12 +67,7 @@ pub fn run(opts: Opts) {
         let plain = failure_rate(opts, n, LscMethod::ntp_default(), trials);
         let hard = failure_rate(opts, n, LscMethod::hardened_default(), trials);
         let pred = 1.0 - (1.0 - AGENT_FAULT_P).powi(n as i32);
-        t.row(&[
-            n.to_string(),
-            pct(plain),
-            pct(pred),
-            pct(hard),
-        ]);
+        t.row(&[n.to_string(), pct(plain), pct(pred), pct(hard)]);
     }
     println!("{}", t.render());
     println!(

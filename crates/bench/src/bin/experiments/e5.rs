@@ -32,11 +32,15 @@ fn run_workload(which: &str, profile: OverheadProfile, seed: u64) -> f64 {
                 reps: 50,
                 ..Default::default()
             };
-            harness::launch(&mut sim, &nodes, 1, 128, move |r, s| stream::program(cfg, r, s))
+            harness::launch(&mut sim, &nodes, 1, 128, move |r, s| {
+                stream::program(cfg, r, s)
+            })
         }
         "hpl" => {
             let cfg = hpl::HplConfig::new(512, 64, 5);
-            harness::launch(&mut sim, &nodes, ranks, 128, move |r, s| hpl::program(cfg, r, s))
+            harness::launch(&mut sim, &nodes, ranks, 128, move |r, s| {
+                hpl::program(cfg, r, s)
+            })
         }
         "ptrans" => {
             let cfg = ptrans::PtransConfig::new(512, 5).with_reps(60);

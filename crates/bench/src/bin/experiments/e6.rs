@@ -67,12 +67,22 @@ fn dvc_cost(opts: Opts, ranks: usize, mem_mb: u32) -> DvcCost {
     let targets: Vec<_> = ((ranks as u32 + 1)..=(2 * ranks as u32))
         .map(dvc_cluster::node::NodeId)
         .collect();
-    lsc::restore_vc(&mut sim, set_id, targets, SimDuration::from_secs(5), |sim, out| {
-        assert!(out.success);
-        sim.world.ext.get_or_default::<RestoreT>().0 = Some(out.duration.as_secs_f64());
-    });
+    lsc::restore_vc(
+        &mut sim,
+        set_id,
+        targets,
+        SimDuration::from_secs(5),
+        |sim, out| {
+            assert!(out.success);
+            sim.world.ext.get_or_default::<RestoreT>().0 = Some(out.duration.as_secs_f64());
+        },
+    )
+    .expect("restore should start");
     run_until(&mut sim, SimTime::from_secs_f64(36000.0), |sim| {
-        sim.world.ext.get::<RestoreT>().is_some_and(|g| g.0.is_some())
+        sim.world
+            .ext
+            .get::<RestoreT>()
+            .is_some_and(|g| g.0.is_some())
     });
     let restore_s = sim.world.ext.get::<RestoreT>().unwrap().0.unwrap();
     DvcCost {

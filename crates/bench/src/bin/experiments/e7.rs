@@ -80,7 +80,11 @@ pub fn run(opts: Opts) {
             } else {
                 secs(infl / k as f64)
             },
-            if residual < 1e-10 { "yes".into() } else { "NO".into() },
+            if residual < 1e-10 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     println!("{}", t.render());

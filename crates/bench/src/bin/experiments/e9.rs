@@ -58,16 +58,26 @@ fn one(opts: Opts, mem_mb: u32, agg_mbps: f64) -> Cost {
     let targets: Vec<_> = ((n as u32 + 1)..=(2 * n as u32))
         .map(dvc_cluster::node::NodeId)
         .collect();
-    lsc::restore_vc(&mut sim, set_id, targets, SimDuration::from_secs(5), |sim, out| {
-        assert!(out.success, "E9 restore failed: {}", out.detail);
-        sim.world.ext.get_or_default::<Got>().restore = Some(out.duration.as_secs_f64());
-    });
+    lsc::restore_vc(
+        &mut sim,
+        set_id,
+        targets,
+        SimDuration::from_secs(5),
+        |sim, out| {
+            assert!(out.success, "E9 restore failed: {}", out.detail);
+            sim.world.ext.get_or_default::<Got>().restore = Some(out.duration.as_secs_f64());
+        },
+    )
+    .expect("restore should start");
     run_until(&mut sim, SimTime::from_secs_f64(86000.0), |sim| {
-        sim.world.ext.get::<Got>().is_some_and(|g| g.restore.is_some())
+        sim.world
+            .ext
+            .get::<Got>()
+            .is_some_and(|g| g.restore.is_some())
     });
     let restore_s = sim.world.ext.get::<Got>().unwrap().restore.unwrap() - 5.0; // minus resume lead
-    // The VC was left suspended before the restore (its VMs destroyed &
-    // re-placed), so no settle needed; the measurement is complete.
+                                                                                // The VC was left suspended before the restore (its VMs destroyed &
+                                                                                // re-placed), so no settle needed; the measurement is complete.
     let _ = vc::vc(&sim, vc_id);
     Cost {
         save_s,

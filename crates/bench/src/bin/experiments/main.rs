@@ -14,6 +14,7 @@ mod e1;
 mod e10;
 mod e11;
 mod e12;
+mod e13;
 mod e2;
 mod e3;
 mod e4;
@@ -55,13 +56,19 @@ fn main() {
                     .expect("bad scale");
             }
             "--seed" => {
-                seed = args.next().expect("--seed <u64>").parse().expect("bad seed");
+                seed = args
+                    .next()
+                    .expect("--seed <u64>")
+                    .parse()
+                    .expect("bad seed");
             }
             "all" => picked.extend(dvc_bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             e if dvc_bench::ALL_EXPERIMENTS.contains(&e) => picked.push(e.to_string()),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [--quick] [--trials-scale X] [--seed S] <e1..e12|all>...");
+                eprintln!(
+                    "usage: experiments [--quick] [--trials-scale X] [--seed S] <e1..e13|all>..."
+                );
                 std::process::exit(2);
             }
         }
@@ -95,6 +102,7 @@ fn main() {
             "e10" => e10::run(opts),
             "e11" => e11::run(opts),
             "e12" => e12::run(opts),
+            "e13" => e13::run(opts),
             _ => unreachable!(),
         }
         println!("_({e} took {:.1}s wall)_\n", t0.elapsed().as_secs_f64());

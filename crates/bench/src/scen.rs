@@ -187,7 +187,11 @@ pub fn run_cycles(
             break; // sim drained (job crashed and nothing is scheduled)
         }
     }
-    sim.world.ext.remove::<Bucket>().map(|b| b.0).unwrap_or_default()
+    sim.world
+        .ext
+        .remove::<Bucket>()
+        .map(|b| b.0)
+        .unwrap_or_default()
 }
 
 /// Post-trial application verdict for a ring job.
@@ -232,10 +236,7 @@ pub fn settle(sim: &mut Sim<ClusterWorld>, settle: SimDuration) {
 
 /// A full single-checkpoint trial on a ring load: returns (vm_ok && app
 /// survived && data intact, outcome).
-pub fn one_cycle_trial(
-    tw: TrialWorld,
-    method: LscMethod,
-) -> (bool, Option<LscOutcome>) {
+pub fn one_cycle_trial(tw: TrialWorld, method: LscMethod) -> (bool, Option<LscOutcome>) {
     let (mut sim, vc_id) = tw.build();
     let job = ring_load(&mut sim, vc_id, u64::MAX / 2);
     // Let the job and NTP warm up.

@@ -17,7 +17,7 @@
 use crate::node::NodeId;
 use crate::world::ClusterWorld;
 use dvc_sim_core::rng::lognormal_sample;
-use dvc_sim_core::{Sim, SimDuration};
+use dvc_sim_core::{sim_trace, Sim, SimDuration};
 
 /// Sample the latency of opening a terminal connection to `node`.
 pub fn open_delay(sim: &mut Sim<ClusterWorld>, node: NodeId) -> SimDuration {
@@ -37,14 +37,54 @@ pub fn cmd_delay(sim: &mut Sim<ClusterWorld>, node: NodeId) -> SimDuration {
     SimDuration::from_secs_f64(cfg.base_latency_s + s * (1.0 + 3.0 * load))
 }
 
+/// True when the control path to `node` is severed by a partition window
+/// right now.
+pub fn partitioned(sim: &Sim<ClusterWorld>, node: NodeId) -> bool {
+    sim.world
+        .faults
+        .active("control.partition", Some(node.0 as u64), sim.now())
+        .is_some()
+}
+
 /// Run `action` on `node` after `delay`, unless the node is down by then.
+///
+/// Fault injection: the message is lost at dispatch if a `control.partition`
+/// window covers the node or a `control.drop` roll fires, and lost at
+/// arrival if a partition has started while it was in flight. Losses are
+/// silent, like an ssh session into a dead management network — the caller
+/// only notices through its own timeouts, which is exactly the failure the
+/// hardened coordinator's ack/abort protocol exists to survive.
 pub fn ctrl_call(
     sim: &mut Sim<ClusterWorld>,
     node: NodeId,
     delay: SimDuration,
     action: impl FnOnce(&mut Sim<ClusterWorld>) + 'static,
 ) {
+    if partitioned(sim, node) {
+        sim.world.faults.note_injected("control.partition");
+        sim_trace!(sim, "fault", "control msg to {node:?} lost: partition");
+        return;
+    }
+    let now = sim.now();
+    let rng = sim.rng.stream("fault.control");
+    if sim
+        .world
+        .faults
+        .roll("control.drop", Some(node.0 as u64), now, rng)
+    {
+        sim_trace!(sim, "fault", "control msg to {node:?} dropped");
+        return;
+    }
     sim.schedule_in(delay, move |sim| {
+        if partitioned(sim, node) {
+            sim.world.faults.note_injected("control.partition");
+            sim_trace!(
+                sim,
+                "fault",
+                "control msg to {node:?} lost in flight: partition"
+            );
+            return;
+        }
         if sim.world.node(node).up {
             action(sim);
         }
@@ -70,7 +110,10 @@ mod tests {
         let median = ds[ds.len() / 2];
         let p99 = ds[(ds.len() as f64 * 0.99) as usize];
         assert!(median > 0.3 && median < 1.0, "median {median}");
-        assert!(p99 > 2.0 * median, "tail too light: p99 {p99} median {median}");
+        assert!(
+            p99 > 2.0 * median,
+            "tail too light: p99 {p99} median {median}"
+        );
     }
 
     #[test]
@@ -107,5 +150,69 @@ mod tests {
         });
         sim.run_to_completion(100);
         assert_eq!(*sim.world.ext.get::<u64>().unwrap(), 1);
+    }
+
+    #[test]
+    fn partition_window_severs_control_to_target_only() {
+        use dvc_sim_core::SimTime;
+        let mut sim = sim();
+        sim.world.ext.insert(0u64);
+        sim.world.faults.window(
+            "control.partition",
+            Some(2),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            1.0,
+        );
+        ctrl_call(&mut sim, NodeId(2), SimDuration::from_secs(1), |sim| {
+            *sim.world.ext.get_mut::<u64>().unwrap() += 10;
+        });
+        ctrl_call(&mut sim, NodeId(1), SimDuration::from_secs(1), |sim| {
+            *sim.world.ext.get_mut::<u64>().unwrap() += 1;
+        });
+        // After the window lifts, node 2 is reachable again.
+        sim.schedule_at(SimTime::from_secs(11), |sim| {
+            ctrl_call(sim, NodeId(2), SimDuration::from_secs(1), |sim| {
+                *sim.world.ext.get_mut::<u64>().unwrap() += 100;
+            });
+        });
+        sim.run_to_completion(100);
+        assert_eq!(*sim.world.ext.get::<u64>().unwrap(), 101);
+        assert!(sim.world.faults.injected_total() >= 1);
+    }
+
+    #[test]
+    fn partition_starting_mid_flight_eats_the_message() {
+        use dvc_sim_core::SimTime;
+        let mut sim = sim();
+        sim.world.ext.insert(0u64);
+        // Dispatch at t=0 (healthy), arrival at t=1 falls inside the window.
+        sim.world.faults.window(
+            "control.partition",
+            Some(1),
+            SimTime::from_secs_f64(0.5),
+            SimTime::from_secs(5),
+            1.0,
+        );
+        ctrl_call(&mut sim, NodeId(1), SimDuration::from_secs(1), |sim| {
+            *sim.world.ext.get_mut::<u64>().unwrap() += 1;
+        });
+        sim.run_to_completion(100);
+        assert_eq!(*sim.world.ext.get::<u64>().unwrap(), 0);
+    }
+
+    #[test]
+    fn control_drop_probability_one_loses_everything() {
+        let mut sim = sim();
+        sim.world.ext.insert(0u64);
+        sim.world.faults.steady("control.drop", 1.0);
+        for n in 1..4 {
+            ctrl_call(&mut sim, NodeId(n), SimDuration::from_secs(1), |sim| {
+                *sim.world.ext.get_mut::<u64>().unwrap() += 1;
+            });
+        }
+        sim.run_to_completion(100);
+        assert_eq!(*sim.world.ext.get::<u64>().unwrap(), 0);
+        assert_eq!(sim.world.faults.injected_total(), 3);
     }
 }

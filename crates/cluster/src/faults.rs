@@ -1,0 +1,109 @@
+//! Installing a [`FaultPlan`] into a cluster world.
+//!
+//! Probabilistic faults (`storage.fail`, `control.drop`, `image.corrupt`)
+//! are rolled at their injection points as the simulation runs; nothing is
+//! scheduled up front. Window-driven effects, however, need *boundary
+//! events* — a bandwidth brownout must re-rate in-flight transfers the
+//! instant it starts and ends, and a clock step is a one-shot edit to a
+//! node's hardware clock. [`install_fault_plan`] walks the plan once,
+//! schedules those boundary events, and hands the plan to the world so the
+//! per-call injection points can consult it.
+
+use crate::node::NodeId;
+use crate::storage;
+use crate::world::ClusterWorld;
+use dvc_sim_core::{sim_trace, FaultPlan, Sim};
+
+/// Hand `plan` to the world and schedule boundary events for its
+/// window-driven effects. Call once, before (or at) simulation start.
+pub fn install_fault_plan(sim: &mut Sim<ClusterWorld>, plan: FaultPlan) {
+    let now = sim.now();
+    for w in plan.windows() {
+        match w.kind {
+            "storage.brownout" => {
+                let factor = w.magnitude;
+                let (from, until) = (w.from.max(now), w.until.max(now));
+                sim.schedule_at(from, move |sim| {
+                    sim.world.faults.note_injected("storage.brownout");
+                    sim_trace!(sim, "fault", "storage brownout begins: ×{factor:.2}");
+                    storage::set_rate_factor(sim, factor);
+                });
+                sim.schedule_at(until, move |sim| {
+                    sim_trace!(sim, "fault", "storage brownout ends");
+                    storage::set_rate_factor(sim, 1.0);
+                });
+            }
+            "clock.step" => {
+                let node = NodeId(w.target.expect("clock.step needs a target node") as u32);
+                let step_s = w.magnitude;
+                let at = w.from.max(now);
+                sim.schedule_at(at, move |sim| {
+                    if !sim.world.node(node).up {
+                        return;
+                    }
+                    let now = sim.now();
+                    sim.world.node_mut(node).clock.correct(now, step_s * 1e9);
+                    sim.world.faults.note_injected("clock.step");
+                    sim_trace!(sim, "fault", "clock on {node:?} stepped by {step_s:+.3} s");
+                });
+            }
+            // Probabilistic / query-time kinds need no boundary events.
+            _ => {}
+        }
+    }
+    sim.world.faults = plan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ClusterBuilder;
+    use dvc_sim_core::SimTime;
+
+    #[test]
+    fn clock_step_window_edits_the_target_clock() {
+        let w = ClusterBuilder::new()
+            .nodes_per_cluster(3)
+            .perfect_clocks()
+            .build(2);
+        let mut sim = Sim::new(w, 2);
+        let mut plan = FaultPlan::new(2);
+        plan.window(
+            "clock.step",
+            Some(1),
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+            2.5,
+        );
+        install_fault_plan(&mut sim, plan);
+        sim.run(SimTime::from_secs(10), 1000);
+        let t = SimTime::from_secs(10);
+        let stepped = sim.world.node(NodeId(1)).clock.error_ns(t);
+        let other = sim.world.node(NodeId(2)).clock.error_ns(t);
+        assert!((stepped - 2.5e9).abs() < 1e3, "stepped err {stepped}");
+        assert_eq!(other, 0.0, "non-target untouched");
+        assert_eq!(
+            sim.world.faults.injected().collect::<Vec<_>>(),
+            vec![("clock.step", 1)]
+        );
+    }
+
+    #[test]
+    fn brownout_boundaries_restore_full_rate() {
+        let w = ClusterBuilder::new().nodes_per_cluster(2).build(3);
+        let mut sim = Sim::new(w, 3);
+        let mut plan = FaultPlan::new(3);
+        plan.window(
+            "storage.brownout",
+            None,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            0.25,
+        );
+        install_fault_plan(&mut sim, plan);
+        sim.run(SimTime::from_secs_f64(1.5), 1000);
+        assert_eq!(sim.world.storage.rate_factor, 0.25);
+        sim.run(SimTime::from_secs(3), 1000);
+        assert_eq!(sim.world.storage.rate_factor, 1.0);
+    }
+}

@@ -51,11 +51,7 @@ pub fn vm_local_now(sim: &Sim<ClusterWorld>, vm: VmId) -> Option<LocalNs> {
 
 /// Convert a node-local deadline into an absolute true-time instant
 /// (clamped to now when already expired).
-pub fn local_deadline_to_true(
-    sim: &Sim<ClusterWorld>,
-    node: NodeId,
-    deadline: LocalNs,
-) -> SimTime {
+pub fn local_deadline_to_true(sim: &Sim<ClusterWorld>, node: NodeId, deadline: LocalNs) -> SimTime {
     let clock = &sim.world.node(node).clock;
     match clock.true_delay_until_local(sim.now(), deadline) {
         Some(d) => sim.now() + SimDuration::from_nanos(d),
@@ -125,7 +121,9 @@ pub fn resume_vm(sim: &mut Sim<ClusterWorld>, vm: VmId) {
     };
     let now_local = local_now(sim, host);
     {
-        let Some(v) = sim.world.vm_mut(vm) else { return };
+        let Some(v) = sim.world.vm_mut(vm) else {
+            return;
+        };
         if matches!(v.state, VmState::Dead | VmState::Running) {
             return;
         }
@@ -147,29 +145,45 @@ pub fn resume_vm(sim: &mut Sim<ClusterWorld>, vm: VmId) {
 /// Save a domain: pause (if needed), snapshot, stream the image to shared
 /// storage. The domain is left **paused** (state `Saving` → `Paused`); the
 /// caller decides whether to resume, destroy, or migrate. `on_done` receives
-/// the completed image.
+/// `Some(image)` when the write (including any configured retries) landed,
+/// `None` when storage gave up. A landed image may still be *silently*
+/// corrupt — `image.corrupt` faults flip its stored checksum without any
+/// error surfacing here; only an end-to-end [`VmImage::verify`] catches it.
 pub fn save_vm(
     sim: &mut Sim<ClusterWorld>,
     vm: VmId,
-    on_done: impl FnOnce(&mut Sim<ClusterWorld>, VmImage) + 'static,
+    on_done: impl FnOnce(&mut Sim<ClusterWorld>, Option<VmImage>) + 'static,
 ) {
     pause_vm(sim, vm);
     let now = sim.now();
-    let Some(v) = sim.world.vm_mut(vm) else { return };
+    let Some(v) = sim.world.vm_mut(vm) else {
+        return;
+    };
     if v.state == VmState::Dead {
         return;
     }
     v.state = VmState::Saving;
-    let image = v.snapshot(now);
+    let mut image = v.snapshot(now);
     let bytes = image.size_bytes();
     storage::note_bytes(sim, bytes);
-    storage::start_transfer(sim, bytes, move |sim| {
+    storage::transfer_with_retry(sim, bytes, move |sim, ok| {
         if let Some(v) = sim.world.vm_mut(vm) {
             if v.state == VmState::Saving {
                 v.state = VmState::Paused;
             }
         }
-        on_done(sim, image);
+        if !ok {
+            dvc_sim_core::sim_trace!(sim, "fault", "save of {vm:?} lost to storage failure");
+            on_done(sim, None);
+            return;
+        }
+        let now = sim.now();
+        let rng = sim.rng.stream("fault.image");
+        if sim.world.faults.roll("image.corrupt", None, now, rng) {
+            image.corrupt_silently();
+            dvc_sim_core::sim_trace!(sim, "fault", "stored image of {vm:?} silently corrupted");
+        }
+        on_done(sim, Some(image));
     });
 }
 
@@ -211,7 +225,13 @@ pub fn place_image_paused(sim: &mut Sim<ClusterWorld>, image: &VmImage, target: 
     while sim.world.vms.len() <= idx {
         sim.world.vms.push(None);
     }
-    let mut vm = Vm::new(id, image.mem_mb, image.vcpus, image.overhead, image.guest.clone());
+    let mut vm = Vm::new(
+        id,
+        image.mem_mb,
+        image.vcpus,
+        image.overhead,
+        image.guest.clone(),
+    );
     vm.state = VmState::Paused;
     vm.overhead = image.overhead;
     let vaddr = match image.guest.addr {
@@ -229,7 +249,9 @@ pub fn place_image_paused(sim: &mut Sim<ClusterWorld>, image: &VmImage, target: 
 
 /// Destroy a domain (shutdown or host crash): unbind its address, mark dead.
 pub fn destroy_vm(sim: &mut Sim<ClusterWorld>, vm: VmId) {
-    let Some(v) = sim.world.vm_mut(vm) else { return };
+    let Some(v) = sim.world.vm_mut(vm) else {
+        return;
+    };
     let addr = v.guest.addr;
     v.destroy();
     if let Addr::Virt(va) = addr {
@@ -280,8 +302,7 @@ pub fn deliver(sim: &mut Sim<ClusterWorld>, nic: NicId, pkt: Packet) {
             if !running {
                 return; // suspended guest: the frame is gone
             }
-            let cost_ns =
-                (sim.world.cfg.net_pkt_base_ns as f64 * net_factor).round() as u64;
+            let cost_ns = (sim.world.cfg.net_pkt_base_ns as f64 * net_factor).round() as u64;
             if cost_ns == 0 {
                 guest_rx(sim, vm_id, pkt);
             } else {
@@ -289,7 +310,9 @@ pub fn deliver(sim: &mut Sim<ClusterWorld>, nic: NicId, pkt: Packet) {
                 // guest's (virtual) NIC receive path for its full cost.
                 let now = sim.now();
                 let done = {
-                    let Some(v) = sim.world.vm_mut(vm_id) else { return };
+                    let Some(v) = sim.world.vm_mut(vm_id) else {
+                        return;
+                    };
                     let start = now.max(v.rx_busy_until);
                     let done = start + SimDuration::from_nanos(cost_ns);
                     v.rx_busy_until = done;
@@ -350,7 +373,9 @@ pub fn drain_host_udp(sim: &mut Sim<ClusterWorld>, node: NodeId) {
 pub fn drain_vm(sim: &mut Sim<ClusterWorld>, vm: VmId) {
     let mut had_events = false;
     loop {
-        let Some(v) = sim.world.vm_mut(vm) else { return };
+        let Some(v) = sim.world.vm_mut(vm) else {
+            return;
+        };
         let tcp_out = std::mem::take(&mut v.guest.tcp.out);
         let udp_out = std::mem::take(&mut v.guest.udp.out);
         if tcp_out.is_empty() && udp_out.is_empty() {
@@ -407,7 +432,9 @@ pub fn rearm_guest_timer(sim: &mut Sim<ClusterWorld>, vm: VmId) {
         let Some(local) = vm_local_now(sim, vm) else {
             return;
         };
-        let Some(v) = sim.world.vm_mut(vm) else { return };
+        let Some(v) = sim.world.vm_mut(vm) else {
+            return;
+        };
         if !v.is_running() || v.epoch != epoch {
             return;
         }
@@ -458,7 +485,9 @@ pub fn poll_proc(sim: &mut Sim<ClusterWorld>, vm: VmId, idx: usize) {
     };
     let now_local = local_now(sim, host);
     let (poll, overhead) = {
-        let Some(v) = sim.world.vm_mut(vm) else { return };
+        let Some(v) = sim.world.vm_mut(vm) else {
+            return;
+        };
         if !v.is_running() {
             return;
         }

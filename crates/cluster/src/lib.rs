@@ -31,6 +31,7 @@
 pub mod control;
 pub mod ext;
 pub mod failure;
+pub mod faults;
 pub mod glue;
 pub mod node;
 pub mod ntp;

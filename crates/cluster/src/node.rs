@@ -2,6 +2,7 @@
 
 use dvc_net::addr::{NicId, PhysAddr};
 use dvc_net::udp::UdpStack;
+use dvc_sim_core::SimTime;
 use dvc_time::clock::HwClock;
 use dvc_time::ntp::{Discipline, DisciplineConfig};
 use dvc_vmm::VmId;
@@ -27,6 +28,10 @@ pub struct Node {
     pub clock: HwClock,
     /// The node's NTP client state.
     pub ntp: Discipline,
+    /// True time of the last successful NTP exchange (a reply arrived and
+    /// passed the filter). `None` until first sync. Coordinators use this to
+    /// detect lost clock synchronization and degrade their scheduling mode.
+    pub ntp_last_sync: Option<SimTime>,
     pub up: bool,
     /// Background load ∈ [0, 1); inflates control-plane service latency
     /// ("this implementation does not take into account a heavily loaded
@@ -60,6 +65,7 @@ impl Node {
             mem_mb,
             clock,
             ntp: Discipline::new(DisciplineConfig::default()),
+            ntp_last_sync: None,
             up: true,
             load: 0.0,
             domains: Vec::new(),

@@ -12,7 +12,7 @@ use crate::node::NodeId;
 use crate::world::ClusterWorld;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dvc_net::tcp::LocalNs;
-use dvc_sim_core::{Sim, SimDuration};
+use dvc_sim_core::{sim_trace, Sim, SimDuration};
 use dvc_time::ntp::{offset_delay, NtpSample};
 
 /// Well-known server port.
@@ -104,10 +104,24 @@ pub fn poll_once(sim: &mut Sim<ClusterWorld>, node: NodeId) {
 pub fn dispatch_host_udp(sim: &mut Sim<ClusterWorld>, node: NodeId) {
     // Server side.
     if node == sim.world.head {
-        loop {
-            let Some(req) = sim.world.node_mut(node).host_udp.recv_from(NTP_PORT) else {
-                break;
-            };
+        let outage = sim
+            .world
+            .faults
+            .active("ntp.outage", None, sim.now())
+            .is_some();
+        while let Some(req) = sim.world.node_mut(node).host_udp.recv_from(NTP_PORT) {
+            if outage {
+                // Server down: requests are consumed but never answered, so
+                // clients silently stop getting samples and re-drift.
+                sim.world.faults.note_injected("ntp.outage");
+                sim_trace!(
+                    sim,
+                    "fault",
+                    "ntp request from {:?} unanswered: outage",
+                    req.src
+                );
+                continue;
+            }
             if req.payload.len() < 8 {
                 continue;
             }
@@ -125,15 +139,7 @@ pub fn dispatch_host_udp(sim: &mut Sim<ClusterWorld>, node: NodeId) {
         return;
     }
     // Client side.
-    loop {
-        let Some(rep) = sim
-            .world
-            .node_mut(node)
-            .host_udp
-            .recv_from(NTP_CLIENT_PORT)
-        else {
-            break;
-        };
+    while let Some(rep) = sim.world.node_mut(node).host_udp.recv_from(NTP_CLIENT_PORT) {
         if rep.payload.len() < 24 {
             continue;
         }
@@ -154,7 +160,18 @@ pub fn dispatch_host_udp(sim: &mut Sim<ClusterWorld>, node: NodeId) {
                 completed_at: t4,
             },
         );
+        n.ntp_last_sync = Some(now);
     }
+}
+
+/// True time elapsed since `node` last completed an NTP exchange; `None`
+/// until its first sync. The reliability manager treats a large value as
+/// "clock sync lost" and degrades to clock-free coordination.
+pub fn sync_age(sim: &Sim<ClusterWorld>, node: NodeId) -> Option<SimDuration> {
+    sim.world
+        .node(node)
+        .ntp_last_sync
+        .map(|t| sim.now().since(t))
 }
 
 /// Worst absolute clock error vs. true time across all up nodes, ns.

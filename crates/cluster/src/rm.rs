@@ -303,7 +303,9 @@ pub fn complete_job(sim: &mut Sim<ClusterWorld>, id: JobId, success: bool) {
     let now = sim.now();
     {
         let rm = &mut sim.world.rm;
-        let Some(j) = rm.jobs.get_mut(&id) else { return };
+        let Some(j) = rm.jobs.get_mut(&id) else {
+            return;
+        };
         if j.state != JobState::Running {
             return;
         }
@@ -371,8 +373,16 @@ mod tests {
     #[test]
     fn fifo_start_and_completion_frees_nodes() {
         let mut sim = sim(1, 4);
-        let a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
-        let b = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        let a = submit(
+            &mut sim,
+            spec(3, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let b = submit(
+            &mut sim,
+            spec(3, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
         assert_eq!(sim.world.rm.job(a).unwrap().state, JobState::Running);
         assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Queued);
         complete_job(&mut sim, a, true);
@@ -386,9 +396,21 @@ mod tests {
         let mut sim = sim(1, 4);
         // A takes 3 nodes for 100 s; head B needs 4 (blocked); C needs 1
         // node for 10 s → backfills into the idle node.
-        let _a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
-        let b = submit(&mut sim, spec(4, 50, Placement::SingleCluster), recording_launcher());
-        let c = submit(&mut sim, spec(1, 10, Placement::SingleCluster), recording_launcher());
+        let _a = submit(
+            &mut sim,
+            spec(3, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let b = submit(
+            &mut sim,
+            spec(4, 50, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let c = submit(
+            &mut sim,
+            spec(1, 10, Placement::SingleCluster),
+            recording_launcher(),
+        );
         assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Queued);
         assert_eq!(
             sim.world.rm.job(c).unwrap().state,
@@ -403,9 +425,21 @@ mod tests {
         let mut sim = sim(1, 4);
         // A: 3 nodes, ends at t=100 (shadow for the 4-node head B).
         // C wants the idle node for 200 s — starting it would push B.
-        let _a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
-        let b = submit(&mut sim, spec(4, 50, Placement::SingleCluster), recording_launcher());
-        let c = submit(&mut sim, spec(1, 200, Placement::SingleCluster), recording_launcher());
+        let _a = submit(
+            &mut sim,
+            spec(3, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let b = submit(
+            &mut sim,
+            spec(4, 50, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let c = submit(
+            &mut sim,
+            spec(1, 200, Placement::SingleCluster),
+            recording_launcher(),
+        );
         assert_eq!(sim.world.rm.job(c).unwrap().state, JobState::Queued);
         assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Queued);
     }
@@ -414,10 +448,26 @@ mod tests {
     fn single_cluster_placement_rejects_fragmented_space() {
         let mut sim = sim(2, 4);
         // Occupy 2 nodes in each cluster: 4 free total, max 2 contiguous.
-        let _fill1 = submit(&mut sim, spec(2, 100, Placement::Cluster(ClusterId(0))), recording_launcher());
-        let _fill2 = submit(&mut sim, spec(2, 100, Placement::Cluster(ClusterId(1))), recording_launcher());
-        let narrow = submit(&mut sim, spec(3, 10, Placement::SingleCluster), recording_launcher());
-        let wide = submit(&mut sim, spec(3, 10, Placement::AllowSpan), recording_launcher());
+        let _fill1 = submit(
+            &mut sim,
+            spec(2, 100, Placement::Cluster(ClusterId(0))),
+            recording_launcher(),
+        );
+        let _fill2 = submit(
+            &mut sim,
+            spec(2, 100, Placement::Cluster(ClusterId(1))),
+            recording_launcher(),
+        );
+        let narrow = submit(
+            &mut sim,
+            spec(3, 10, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let wide = submit(
+            &mut sim,
+            spec(3, 10, Placement::AllowSpan),
+            recording_launcher(),
+        );
         assert_eq!(sim.world.rm.job(narrow).unwrap().state, JobState::Queued);
         // AllowSpan backfills across the two clusters.
         assert_eq!(sim.world.rm.job(wide).unwrap().state, JobState::Running);
@@ -433,7 +483,11 @@ mod tests {
     #[test]
     fn node_crash_fails_running_jobs_and_frees_the_rest() {
         let mut sim = sim(1, 4);
-        let a = submit(&mut sim, spec(3, 100, Placement::SingleCluster), recording_launcher());
+        let a = submit(
+            &mut sim,
+            spec(3, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
         let victim = sim.world.rm.job(a).unwrap().assigned[0];
         crate::failure::crash_node(&mut sim, victim);
         assert_eq!(sim.world.rm.job(a).unwrap().state, JobState::Failed);
@@ -444,8 +498,16 @@ mod tests {
     #[test]
     fn cancel_removes_queued_job() {
         let mut sim = sim(1, 2);
-        let _a = submit(&mut sim, spec(2, 100, Placement::SingleCluster), recording_launcher());
-        let b = submit(&mut sim, spec(2, 100, Placement::SingleCluster), recording_launcher());
+        let _a = submit(
+            &mut sim,
+            spec(2, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        let b = submit(
+            &mut sim,
+            spec(2, 100, Placement::SingleCluster),
+            recording_launcher(),
+        );
         cancel_job(&mut sim, b);
         assert_eq!(sim.world.rm.job(b).unwrap().state, JobState::Cancelled);
         assert_eq!(sim.world.rm.queued_count(), 0);

@@ -11,7 +11,7 @@
 //! scheduled exactly and re-derived whenever a transfer starts or ends.
 
 use crate::world::ClusterWorld;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{sim_trace, Sim, SimDuration, SimTime};
 use std::collections::HashMap;
 
 pub type TransferId = u64;
@@ -35,6 +35,12 @@ pub struct SharedStorage {
     last_update: SimTime,
     pub bytes_completed: u64,
     pub transfers_completed: u64,
+    /// Bandwidth multiplier applied during brownout windows (1.0 = healthy).
+    pub rate_factor: f64,
+    /// Transfer attempts that ended in an injected failure.
+    pub transfers_failed: u64,
+    /// Backoff re-issues performed by [`transfer_with_retry`].
+    pub retries: u64,
 }
 
 impl SharedStorage {
@@ -49,12 +55,15 @@ impl SharedStorage {
             last_update: SimTime::ZERO,
             bytes_completed: 0,
             transfers_completed: 0,
+            rate_factor: 1.0,
+            transfers_failed: 0,
+            retries: 0,
         }
     }
 
     fn rate(&self) -> f64 {
         let n = self.active.len().max(1) as f64;
-        self.per_stream_bps.min(self.agg_bps / n)
+        self.per_stream_bps.min(self.agg_bps / n) * self.rate_factor.clamp(0.01, 1.0)
     }
 
     pub fn active_transfers(&self) -> usize {
@@ -127,12 +136,14 @@ fn reschedule(sim: &mut Sim<ClusterWorld>) {
 fn settle(sim: &mut Sim<ClusterWorld>) {
     advance(sim);
     let st = &mut sim.world.storage;
-    let finished: Vec<TransferId> = st
+    let mut finished: Vec<TransferId> = st
         .active
         .iter()
         .filter(|(_, t)| t.remaining <= 0.5)
         .map(|(&id, _)| id)
         .collect();
+    // HashMap order must never leak into callback ordering — determinism.
+    finished.sort_unstable();
     let mut cbs = Vec::new();
     for id in finished {
         if let Some(mut t) = st.active.remove(&id) {
@@ -154,6 +165,84 @@ pub fn note_bytes(sim: &mut Sim<ClusterWorld>, bytes: u64) {
     sim.world.storage.bytes_completed += bytes;
 }
 
+/// Change the brownout bandwidth factor, correctly advancing in-flight
+/// transfers first so their progress under the old rate is banked before
+/// future progress accrues at the new one.
+pub fn set_rate_factor(sim: &mut Sim<ClusterWorld>, factor: f64) {
+    advance(sim);
+    sim.world.storage.rate_factor = factor;
+    reschedule(sim);
+}
+
+/// Like [`start_transfer`], but the transfer can *fail*: on completion the
+/// fault plan's `storage.fail` probability is rolled and the callback learns
+/// whether the bytes actually made it. (The time is spent either way — a
+/// failed write still occupied the array until the error surfaced.)
+pub fn start_transfer_checked(
+    sim: &mut Sim<ClusterWorld>,
+    bytes: u64,
+    cb: impl FnOnce(&mut Sim<ClusterWorld>, bool) + 'static,
+) -> TransferId {
+    start_transfer(sim, bytes, move |sim| {
+        let now = sim.now();
+        let rng = sim.rng.stream("fault.storage");
+        let failed = sim.world.faults.roll("storage.fail", None, now, rng);
+        if failed {
+            sim.world.storage.transfers_failed += 1;
+            sim_trace!(sim, "fault", "storage transfer of {bytes} B failed");
+        }
+        cb(sim, !failed);
+    })
+}
+
+/// A checked transfer with bounded retry and exponential backoff: up to
+/// `cfg.storage_retry.max_attempts` attempts, sleeping `base_backoff_s · 2ᵏ`
+/// between them. `cb` receives the final outcome.
+pub fn transfer_with_retry(
+    sim: &mut Sim<ClusterWorld>,
+    bytes: u64,
+    cb: impl FnOnce(&mut Sim<ClusterWorld>, bool) + 'static,
+) {
+    let retry = sim.world.cfg.storage_retry;
+    attempt_transfer(
+        sim,
+        bytes,
+        1,
+        retry.max_attempts.max(1),
+        retry.base_backoff_s,
+        Box::new(cb),
+    );
+}
+
+type RetryCb = Box<dyn FnOnce(&mut Sim<ClusterWorld>, bool)>;
+
+fn attempt_transfer(
+    sim: &mut Sim<ClusterWorld>,
+    bytes: u64,
+    attempt: u32,
+    max_attempts: u32,
+    base_backoff_s: f64,
+    cb: RetryCb,
+) {
+    start_transfer_checked(sim, bytes, move |sim, ok| {
+        if ok || attempt >= max_attempts {
+            cb(sim, ok);
+            return;
+        }
+        sim.world.storage.retries += 1;
+        let backoff =
+            SimDuration::from_secs_f64(base_backoff_s * f64::from(1u32 << (attempt - 1).min(10)));
+        sim_trace!(
+            sim,
+            "fault",
+            "storage retry {attempt}/{max_attempts} for {bytes} B after {backoff}"
+        );
+        sim.schedule_in(backoff, move |sim| {
+            attempt_transfer(sim, bytes, attempt + 1, max_attempts, base_backoff_s, cb);
+        });
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +250,10 @@ mod tests {
 
     fn world() -> Sim<ClusterWorld> {
         // 1 cluster × 2 nodes is enough; storage params set explicitly.
-        let mut w = ClusterBuilder::new().clusters(1).nodes_per_cluster(2).build(7);
+        let mut w = ClusterBuilder::new()
+            .clusters(1)
+            .nodes_per_cluster(2)
+            .build(7);
         w.storage = SharedStorage::new(100.0e6, 80.0e6); // 100 MB/s agg, 80 MB/s per stream
         Sim::new(w, 7)
     }
@@ -245,6 +337,81 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert!((done[0].1 - 1.5).abs() < 1e-6, "chained at {}", done[0].1);
         assert_eq!(sim.world.storage.transfers_completed, 2);
+    }
+
+    #[test]
+    fn brownout_throttles_then_recovers() {
+        let mut sim = world();
+        // 80 MB at 80 MB/s. Brownout to 25% over [0.5 s, 1.0 s):
+        // 40 MB in the first 0.5 s, 10 MB during the brownout, remaining
+        // 30 MB at full rate → 0.375 s more. Total 1.375 s.
+        start_transfer(&mut sim, 80_000_000, record(1));
+        sim.schedule_at(SimTime::from_secs_f64(0.5), |sim| {
+            set_rate_factor(sim, 0.25)
+        });
+        sim.schedule_at(SimTime::from_secs_f64(1.0), |sim| set_rate_factor(sim, 1.0));
+        sim.run_to_completion(1000);
+        let done = &sim.world.ext.get::<Done>().unwrap().0;
+        assert_eq!(done.len(), 1);
+        assert!((done[0].1 - 1.375).abs() < 1e-6, "t = {}", done[0].1);
+    }
+
+    #[test]
+    fn checked_transfer_fails_under_fault_window_and_retry_recovers() {
+        let mut sim = world();
+        // Certain failure during [0, 2 s); transfers take 1 s each.
+        sim.world.faults.window(
+            "storage.fail",
+            None,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            1.0,
+        );
+        start_transfer_checked(&mut sim, 80_000_000, |sim, ok| {
+            assert!(!ok, "must fail inside the window");
+            sim.world.ext.insert(true);
+        });
+        sim.run_to_completion(1000);
+        assert!(sim.world.ext.get::<bool>().copied().unwrap_or(false));
+        assert_eq!(sim.world.storage.transfers_failed, 1);
+
+        // With retry: first attempt completes at 1 s and fails (in-window);
+        // backoff 0.5 s → second attempt spans [1.5, 2.5] and completes
+        // outside the window → success, one retry on the books.
+        let mut sim = world();
+        sim.world.faults.window(
+            "storage.fail",
+            None,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            1.0,
+        );
+        transfer_with_retry(&mut sim, 80_000_000, |sim, ok| {
+            assert!(ok, "retry should land past the outage");
+            let t = sim.now().as_secs_f64();
+            sim.world.ext.get_or_default::<Done>().0.push((7, t));
+        });
+        sim.run_to_completion(1000);
+        let done = &sim.world.ext.get::<Done>().unwrap().0;
+        assert_eq!(done.len(), 1);
+        assert!((done[0].1 - 2.5).abs() < 1e-6, "t = {}", done[0].1);
+        assert_eq!(sim.world.storage.retries, 1);
+        assert_eq!(sim.world.storage.transfers_failed, 1);
+    }
+
+    #[test]
+    fn bounded_retry_gives_up() {
+        let mut sim = world();
+        sim.world.faults.steady("storage.fail", 1.0);
+        transfer_with_retry(&mut sim, 10_000_000, |sim, ok| {
+            assert!(!ok);
+            sim.world.ext.insert(42u64);
+        });
+        sim.run_to_completion(1000);
+        assert_eq!(sim.world.ext.get::<u64>().copied(), Some(42));
+        let max = sim.world.cfg.storage_retry.max_attempts as u64;
+        assert_eq!(sim.world.storage.transfers_failed, max);
+        assert_eq!(sim.world.storage.retries, max - 1);
     }
 
     #[test]

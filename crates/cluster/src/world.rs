@@ -9,7 +9,7 @@ use dvc_net::fabric::{Fabric, LinkParams, NetWorld, SwitchId};
 use dvc_net::packet::Packet;
 use dvc_net::tcp::TcpConfig;
 use dvc_net::NicId;
-use dvc_sim_core::Sim;
+use dvc_sim_core::{FaultPlan, Sim};
 use dvc_time::clock::HwClock;
 use dvc_vmm::{OverheadProfile, Vm, VmId};
 use rand::rngs::SmallRng;
@@ -27,6 +27,25 @@ pub struct ControlCfg {
     pub cmd_sigma: f64,
     /// Fixed floor added to every control exchange (seconds).
     pub base_latency_s: f64,
+}
+
+/// Bounded-retry policy for shared-storage transfers (the hardened
+/// checkpoint pipeline's answer to transient storage failures).
+#[derive(Clone, Copy, Debug)]
+pub struct StorageRetryCfg {
+    /// Total attempts per transfer (1 = no retry, the unhardened baseline).
+    pub max_attempts: u32,
+    /// First backoff delay, seconds; doubles per failed attempt.
+    pub base_backoff_s: f64,
+}
+
+impl Default for StorageRetryCfg {
+    fn default() -> Self {
+        StorageRetryCfg {
+            max_attempts: 4,
+            base_backoff_s: 0.5,
+        }
+    }
 }
 
 impl Default for ControlCfg {
@@ -65,6 +84,8 @@ pub struct WorldConfig {
     /// full GigE frame), receive processing becomes the bottleneck — the
     /// Xen-era "DomU can't saturate GigE" effect.
     pub net_pkt_base_ns: u64,
+    /// Retry policy for checkpoint storage transfers.
+    pub storage_retry: StorageRetryCfg,
 }
 
 impl Default for WorldConfig {
@@ -80,6 +101,7 @@ impl Default for WorldConfig {
             node_gflops: 8.0, // 2007-era dual-core node
             node_mem_mb: 4096,
             net_pkt_base_ns: 6_000,
+            storage_retry: StorageRetryCfg::default(),
         }
     }
 }
@@ -105,6 +127,10 @@ pub struct ClusterWorld {
     pub vaddr_vm: HashMap<VirtAddr, VmId>,
     pub fabric: Fabric,
     pub storage: SharedStorage,
+    /// The run's fault-injection schedule (empty by default). Install a
+    /// populated plan with [`crate::faults::install_fault_plan`] so window-
+    /// driven effects (brownouts, clock steps) get their boundary events.
+    pub faults: FaultPlan,
     pub rm: ResourceManager,
     /// Layer-private state from `dvc-core` and experiment harnesses.
     pub ext: Extensions,
@@ -257,12 +283,12 @@ impl ClusterBuilder {
             fabric.connect_switches(switches[0], switches[c], self.wan);
         }
 
-        for c in 0..self.n_clusters {
+        for (c, &cluster_switch) in switches.iter().enumerate().take(self.n_clusters) {
             let mut members = Vec::new();
             for _ in 0..self.nodes_per_cluster {
                 let id = NodeId(nodes.len() as u32);
                 let addr = PhysAddr(id.0);
-                let nic = fabric.add_nic(switches[c], self.lan);
+                let nic = fabric.add_nic(cluster_switch, self.lan);
                 fabric.bind(addr.into(), nic);
                 let clock = if self.perfect_clocks {
                     HwClock::perfect()
@@ -286,7 +312,7 @@ impl ClusterBuilder {
             }
             clusters.push(ClusterInfo {
                 id: ClusterId(c as u32),
-                switch: switches[c],
+                switch: cluster_switch,
                 nodes: members,
             });
         }
@@ -301,6 +327,7 @@ impl ClusterBuilder {
             vaddr_vm: HashMap::new(),
             fabric,
             storage: SharedStorage::new(self.storage_agg_bps, self.storage_stream_bps),
+            faults: FaultPlan::none(),
             rm: ResourceManager::new(),
             ext: Extensions::new(),
             head: NodeId(0),
@@ -373,14 +400,10 @@ mod tests {
             );
         }
         let c = ClusterBuilder::new().nodes_per_cluster(6).build(10);
-        let same = a
-            .nodes
-            .iter()
-            .zip(&c.nodes)
-            .all(|(x, y)| {
-                x.clock.error_ns(dvc_sim_core::SimTime::ZERO)
-                    == y.clock.error_ns(dvc_sim_core::SimTime::ZERO)
-            });
+        let same = a.nodes.iter().zip(&c.nodes).all(|(x, y)| {
+            x.clock.error_ns(dvc_sim_core::SimTime::ZERO)
+                == y.clock.error_ns(dvc_sim_core::SimTime::ZERO)
+        });
         assert!(!same, "different seeds must differ");
     }
 }

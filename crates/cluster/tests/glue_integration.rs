@@ -204,12 +204,18 @@ fn coordinated_save_restore_on_same_nodes_is_transparent() {
     sim.schedule_at(SimTime::from_secs_f64(0.1), move |sim| {
         save_vm(sim, vm_tx, move |sim, img_tx| {
             // Resume in place once BOTH saves complete — track via ext.
-            sim.world.ext.get_or_default::<Vec<dvc_vmm::VmImage>>().push(img_tx);
+            sim.world
+                .ext
+                .get_or_default::<Vec<dvc_vmm::VmImage>>()
+                .push(img_tx.expect("save failed"));
         });
     });
     sim.schedule_at(SimTime::from_secs_f64(0.102), move |sim| {
         save_vm(sim, vm_rx, move |sim, img_rx| {
-            sim.world.ext.get_or_default::<Vec<dvc_vmm::VmImage>>().push(img_rx);
+            sim.world
+                .ext
+                .get_or_default::<Vec<dvc_vmm::VmImage>>()
+                .push(img_rx.expect("save failed"));
         });
     });
     // When both images exist, resume both in place.
@@ -247,10 +253,16 @@ fn restore_migrates_to_different_nodes_transparently() {
     // on two *different* nodes from the images.
     sim.schedule_at(SimTime::from_secs_f64(0.1), move |sim| {
         save_vm(sim, vm_tx, move |sim, img| {
-            sim.world.ext.get_or_default::<Vec<dvc_vmm::VmImage>>().push(img);
+            sim.world
+                .ext
+                .get_or_default::<Vec<dvc_vmm::VmImage>>()
+                .push(img.expect("save failed"));
         });
         save_vm(sim, vm_rx, move |sim, img| {
-            sim.world.ext.get_or_default::<Vec<dvc_vmm::VmImage>>().push(img);
+            sim.world
+                .ext
+                .get_or_default::<Vec<dvc_vmm::VmImage>>()
+                .push(img.expect("save failed"));
         });
     });
     fn watch(sim: &mut Sim<ClusterWorld>, vm_tx: VmId, vm_rx: VmId) {
@@ -270,7 +282,11 @@ fn restore_migrates_to_different_nodes_transparently() {
         glue::destroy_vm(sim, vm_rx);
         for img in images {
             // Swap hosts: whatever ran on node 1 goes to node 3, etc.
-            let target = if img.vm == vm_tx { NodeId(3) } else { NodeId(0) };
+            let target = if img.vm == vm_tx {
+                NodeId(3)
+            } else {
+                NodeId(0)
+            };
             glue::restore_vm(sim, img, target, |_sim, _id| {});
         }
     }
@@ -314,13 +330,8 @@ fn one_sided_save_without_peer_kills_the_application() {
 #[test]
 fn watchdog_fires_once_per_save_restore_cycle() {
     let (mut sim, vm_tx, _vm_rx) = sender_receiver(100_000_000); // long job
-    // Shrink the watchdog period so short pauses trip it.
-    sim.world
-        .vm_mut(vm_tx)
-        .unwrap()
-        .guest
-        .watchdog
-        .period_ns = 1_000_000_000; // 1 s
+                                                                 // Shrink the watchdog period so short pauses trip it.
+    sim.world.vm_mut(vm_tx).unwrap().guest.watchdog.period_ns = 1_000_000_000; // 1 s
     for k in 0..3 {
         let at = SimTime::from_secs_f64(2.0 + k as f64 * 10.0);
         sim.schedule_at(at, move |sim| {
@@ -349,10 +360,7 @@ fn watchdog_fires_once_per_save_restore_cycle() {
 
 #[test]
 fn ntp_converges_cluster_wide_to_few_ms() {
-    let mut sim = Sim::new(
-        ClusterBuilder::new().nodes_per_cluster(26).build(33),
-        33,
-    );
+    let mut sim = Sim::new(ClusterBuilder::new().nodes_per_cluster(26).build(33), 33);
     ntp::start_ntp(&mut sim, SimDuration::from_secs(4));
     // Initial offsets are up to ±250 ms.
     let before = ntp::worst_pairwise_offset_ns(&sim);

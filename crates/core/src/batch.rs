@@ -98,7 +98,7 @@ pub fn submit_dvc_job(sim: &mut Sim<ClusterWorld>, spec: DvcJobSpec) -> JobId {
                 st.vc = Some(vc_id);
             }
             let vms = vc::vc(sim, vc_id).unwrap().vms.clone();
-            let mpi_job = harness::launch_on_vms(sim, &vms, |r, s| program(r, s));
+            let mpi_job = harness::launch_on_vms(sim, &vms, program);
             batch(sim).mpi.insert(job_id, mpi_job);
             if let Some(policy) = rel {
                 reliability::manage(sim, vc_id, policy);
@@ -143,7 +143,13 @@ fn watch_job(sim: &mut Sim<ClusterWorld>, job_id: JobId, vc_id: VcId, kill_after
             return;
         }
         if lost {
-            finish(sim, job_id, vc_id, DvcJobState::Failed, "unrecoverable".into());
+            finish(
+                sim,
+                job_id,
+                vc_id,
+                DvcJobState::Failed,
+                "unrecoverable".into(),
+            );
             return;
         }
         if let Some((rank, err)) = harness::first_failure(sim, &mpi_job) {

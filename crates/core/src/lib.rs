@@ -18,6 +18,7 @@
 //!   - **hardened** (paper §4 future work): arm acknowledgements, pre-fire
 //!     abort on missing acks, per-image verification and bounded retry —
 //!     what "scaling to hundreds or even thousands of nodes" requires.
+//!
 //!   Restores are coordinated symmetrically: stage every image, then resume
 //!   everyone together (naive skew or NTP instant).
 //! * [`reliability`] — the resource-manager integration the paper's §4
@@ -33,8 +34,12 @@ pub mod migrate;
 pub mod reliability;
 pub mod vc;
 
-pub use lsc::{checkpoint_vc, restore_vc, LscMethod, LscOutcome, LscReport};
 pub use batch::{submit_dvc_job, DvcJobSpec, DvcJobState};
 pub use lsc::RestoreOutcome;
+pub use lsc::{
+    checkpoint_vc, restore_vc, restore_vc_intact, LscMethod, LscOutcome, LscReport, RestoreError,
+};
 pub use migrate::{live_migrate_vc, LiveMigrateCfg, LiveMigrateOutcome};
-pub use vc::{provision_vc, teardown_vc, CheckpointSet, CheckpointStore, VcId, VcSpec, VirtualCluster};
+pub use vc::{
+    provision_vc, teardown_vc, CheckpointSet, CheckpointStore, VcId, VcSpec, VirtualCluster,
+};

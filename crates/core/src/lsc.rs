@@ -21,6 +21,13 @@
 //!   an abort-before-fire guard, per-image verification, health checks and
 //!   bounded retry, which is what lets the scheme survive per-agent
 //!   failures at large node counts (experiment E4).
+//! * [`LscMethod::HardenedNaive`] — the hardened protocol with the clock
+//!   taken out: arm every agent in parallel, collect acks, and broadcast GO
+//!   instead of scheduling a local-clock fire instant. Pause skew is the
+//!   spread of parallel control dispatches — worse than NTP scheduling, far
+//!   better than the serial naive walk — and nothing depends on clock
+//!   discipline, so the reliability manager degrades to this mode when NTP
+//!   sync is lost (experiment E13).
 //!
 //! Checkpoint failures are **never injected at the transport level** — they
 //! emerge from peers of a paused guest exhausting TCP retransmissions. The
@@ -33,7 +40,7 @@ use dvc_cluster::glue;
 use dvc_cluster::node::NodeId;
 use dvc_cluster::storage;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{sim_trace, Sim, SimDuration, SimTime};
 use dvc_vmm::{VmId, VmImage};
 use rand::Rng;
 use std::collections::HashMap;
@@ -55,6 +62,16 @@ pub enum LscMethod {
         /// Fraction of each image read back for verification after the save.
         verify_fraction: f64,
     },
+    /// Clock-free hardened coordination: all agents are armed in parallel
+    /// and must ack within `ack_timeout`, then the coordinator broadcasts
+    /// GO (repeated, so a dropped control message doesn't strand one
+    /// member). No local-clock scheduling anywhere — usable while NTP is
+    /// down or a member clock has been stepped.
+    HardenedNaive {
+        ack_timeout: SimDuration,
+        max_attempts: u32,
+        verify_fraction: f64,
+    },
 }
 
 impl LscMethod {
@@ -73,11 +90,41 @@ impl LscMethod {
         }
     }
 
+    pub fn hardened_naive_default() -> Self {
+        LscMethod::HardenedNaive {
+            ack_timeout: SimDuration::from_secs(5),
+            max_attempts: 5,
+            verify_fraction: 0.05,
+        }
+    }
+
     pub fn name(&self) -> &'static str {
         match self {
             LscMethod::Naive => "naive",
             LscMethod::Ntp { .. } => "ntp",
             LscMethod::Hardened { .. } => "hardened",
+            LscMethod::HardenedNaive { .. } => "hardened-naive",
+        }
+    }
+
+    /// Hardened-family coordinators verify image checksums, re-save corrupt
+    /// images, and never leave a partially-paused VC behind.
+    pub fn is_hardened(&self) -> bool {
+        matches!(
+            self,
+            LscMethod::Hardened { .. } | LscMethod::HardenedNaive { .. }
+        )
+    }
+
+    fn verify_fraction(&self) -> f64 {
+        match *self {
+            LscMethod::Hardened {
+                verify_fraction, ..
+            }
+            | LscMethod::HardenedNaive {
+                verify_fraction, ..
+            } => verify_fraction,
+            _ => 0.0,
         }
     }
 }
@@ -97,7 +144,11 @@ pub fn set_faults(sim: &mut Sim<ClusterWorld>, faults: LscFaults) {
 }
 
 fn faults(sim: &Sim<ClusterWorld>) -> LscFaults {
-    sim.world.ext.get::<LscFaults>().copied().unwrap_or_default()
+    sim.world
+        .ext
+        .get::<LscFaults>()
+        .copied()
+        .unwrap_or_default()
 }
 
 /// Result of one checkpoint (save + coordinated resume) cycle.
@@ -157,6 +208,16 @@ struct CkptRun {
     /// Hardened: attempt epoch; stale arms check this before firing.
     attempt_epoch: u32,
     aborted: bool,
+    /// Hardened family: per-member re-save counts (checksum failures).
+    save_attempts: Vec<u32>,
+    /// False once any member's save is given up on; the hardened family
+    /// still resumes everyone, then reports the run as failed.
+    save_ok: bool,
+    /// Hardened family: resume-side arm/ack state (the abort guard applied
+    /// to the resume broadcast).
+    resume_epoch: u32,
+    resume_acks: usize,
+    resume_attempts: u32,
     save_done_at: Option<SimTime>,
     finished: bool,
     on_done: Option<DoneCb>,
@@ -211,6 +272,11 @@ pub fn checkpoint_vc(
                 agent_ok: vec![false; n],
                 attempt_epoch: 0,
                 aborted: false,
+                save_attempts: vec![0; n],
+                save_ok: true,
+                resume_epoch: 0,
+                resume_acks: 0,
+                resume_attempts: 0,
                 save_done_at: None,
                 finished: false,
                 on_done: Some(Box::new(on_done)),
@@ -336,11 +402,130 @@ fn start_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
                 if attempts_left {
                     start_attempt(sim, run_id);
                 } else {
-                    finish_run(sim, run_id, false, "arm acks incomplete after retries".into());
+                    finish_run(
+                        sim,
+                        run_id,
+                        false,
+                        "arm acks incomplete after retries".into(),
+                    );
                 }
             });
             arm_run_watchdog(sim, run_id, lead + save_timeout());
         }
+        LscMethod::HardenedNaive {
+            ack_timeout,
+            max_attempts,
+            ..
+        } => {
+            // Arm every agent in parallel; each ack back tells the
+            // coordinator the control path round-trips *right now*. Only
+            // when every member is armed does GO go out — so a partition
+            // or drop during arming aborts with nothing paused.
+            for &(i, _vm, host) in &members {
+                if !roll_agent(sim, run_id, i) {
+                    continue;
+                }
+                let d = control::cmd_delay(sim, host);
+                control::ctrl_call(sim, host, d, move |sim| {
+                    let back = control::cmd_delay(sim, host);
+                    sim.schedule_in(back, move |sim| {
+                        let all_armed = {
+                            let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+                                return;
+                            };
+                            if r.attempt_epoch != attempt || r.aborted || r.finished {
+                                return;
+                            }
+                            r.acks += 1;
+                            r.acks == r.expected
+                        };
+                        if all_armed {
+                            broadcast_save_go(sim, run_id, attempt, GO_REPEATS);
+                        }
+                    });
+                });
+            }
+            // Ack review at the timeout: an incomplete arm set aborts
+            // (nothing has paused yet) and re-arms from scratch, which
+            // simply waits out a partition window.
+            sim.schedule_in(ack_timeout, move |sim| {
+                let (ok, attempts_left) = {
+                    let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+                        return;
+                    };
+                    if r.attempt_epoch != attempt || r.finished {
+                        return;
+                    }
+                    (r.acks == r.expected, r.attempts < max_attempts)
+                };
+                if ok {
+                    return;
+                }
+                if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+                    r.aborted = true;
+                }
+                if attempts_left {
+                    start_attempt(sim, run_id);
+                } else {
+                    finish_run(
+                        sim,
+                        run_id,
+                        false,
+                        "arm acks incomplete after retries".into(),
+                    );
+                }
+            });
+            arm_run_watchdog(sim, run_id, ack_timeout + save_timeout());
+        }
+    }
+}
+
+/// How many times a clock-free GO broadcast is repeated (a lost control
+/// message must not strand one member un-paused while its peers freeze).
+/// Repeats only go to members not yet seen firing, so the common case is a
+/// single round; the worst-case extra skew, `GO_REPEATS × go_spacing`, must
+/// stay under the guest TCP silence budget (~3 s at the default config).
+const GO_REPEATS: u32 = 8;
+
+fn go_spacing() -> SimDuration {
+    SimDuration::from_millis(350)
+}
+
+/// Clock-free save GO: tell every not-yet-paused member to fire now.
+/// Repeated `repeats_left − 1` more times; `fire_save` dedupes arrivals.
+fn broadcast_save_go(sim: &mut Sim<ClusterWorld>, run_id: u64, attempt: u32, repeats_left: u32) {
+    let vc_id = {
+        let Some(r) = runs(sim).runs.get(&run_id) else {
+            return;
+        };
+        if r.attempt_epoch != attempt || r.aborted || r.finished {
+            return;
+        }
+        r.vc
+    };
+    for (i, vm, host) in member_hosts(sim, vc_id) {
+        let already = runs(sim)
+            .runs
+            .get(&run_id)
+            .is_some_and(|r| r.pause_times[i].is_some());
+        if already {
+            continue;
+        }
+        let d = control::cmd_delay(sim, host);
+        control::ctrl_call(sim, host, d, move |sim| {
+            let ok = runs(sim)
+                .runs
+                .get(&run_id)
+                .is_some_and(|r| r.attempt_epoch == attempt && !r.aborted);
+            if ok {
+                fire_save(sim, run_id, i, vm);
+            }
+        });
+    }
+    if repeats_left > 1 {
+        sim.schedule_in(go_spacing(), move |sim| {
+            broadcast_save_go(sim, run_id, attempt, repeats_left - 1);
+        });
     }
 }
 
@@ -423,8 +608,63 @@ fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) 
         return;
     }
     glue::save_vm(sim, vm, move |sim, image| {
-        member_resolved(sim, run_id, member, Some(image));
+        on_save_complete(sim, run_id, member, vm, image);
     });
+}
+
+/// Bound on checksum-triggered re-saves per member (the VM stays paused
+/// between attempts, so each retry costs one more image write).
+const MAX_SAVE_RETRIES: u32 = 3;
+
+/// A member's save-and-store resolved (or storage gave up after its
+/// retries). The hardened family verifies the end-to-end image checksum
+/// and re-saves on mismatch — the guest is still paused, so a fresh
+/// snapshot is consistent; the baseline coordinators trust storage and
+/// pass whatever came back straight into the set.
+fn on_save_complete(
+    sim: &mut Sim<ClusterWorld>,
+    run_id: u64,
+    member: usize,
+    vm: VmId,
+    image: Option<VmImage>,
+) {
+    let hardened = runs(sim)
+        .runs
+        .get(&run_id)
+        .is_some_and(|r| r.method.is_hardened());
+    if let Some(img) = &image {
+        if hardened && !img.verify() {
+            let attempts = {
+                let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+                    return;
+                };
+                if r.finished {
+                    return;
+                }
+                r.save_attempts[member] += 1;
+                r.save_attempts[member]
+            };
+            if attempts <= MAX_SAVE_RETRIES {
+                sim_trace!(
+                    sim,
+                    "lsc",
+                    "image of {vm:?} failed checksum; re-saving (attempt {attempts})"
+                );
+                glue::save_vm(sim, vm, move |sim, image| {
+                    on_save_complete(sim, run_id, member, vm, image);
+                });
+                return;
+            }
+            sim_trace!(
+                sim,
+                "lsc",
+                "image of {vm:?} still corrupt after {MAX_SAVE_RETRIES} re-saves; giving up"
+            );
+            member_resolved(sim, run_id, member, None);
+            return;
+        }
+    }
+    member_resolved(sim, run_id, member, image);
 }
 
 fn member_resolved(
@@ -460,7 +700,22 @@ fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
         (r.failed_members == 0, r.method, r.vc)
     };
     if !ok {
-        finish_run(sim, run_id, false, "one or more VM saves failed".into());
+        if method.is_hardened() {
+            // Don't leave the survivors paused bleeding their peers' TCP
+            // budgets: resume everyone, then report the failed run. The VC
+            // keeps computing on its previously stored generations.
+            if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+                r.save_ok = false;
+            }
+            sim_trace!(
+                sim,
+                "lsc",
+                "save phase failed; resuming members without storing a set"
+            );
+            coordinated_resume(sim, run_id);
+        } else {
+            finish_run(sim, run_id, false, "one or more VM saves failed".into());
+        }
         return;
     }
 
@@ -485,27 +740,28 @@ fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
         });
         id
     };
-    sim.world.ext.get_or_default::<LastSetId>().0.insert(run_id, set_id);
+    sim.world
+        .ext
+        .get_or_default::<LastSetId>()
+        .0
+        .insert(run_id, set_id);
 
-    // Hardened: verify images (read back a fraction) before resuming.
-    if let LscMethod::Hardened {
-        verify_fraction, ..
-    } = method
-    {
-        if verify_fraction > 0.0 {
-            let bytes: u64 = {
-                let r = runs(sim).runs.get(&run_id).unwrap();
-                r.images
-                    .iter()
-                    .flatten()
-                    .map(|i| (i.size_bytes() as f64 * verify_fraction) as u64)
-                    .sum()
-            };
-            storage::start_transfer(sim, bytes.max(1), move |sim| {
-                coordinated_resume(sim, run_id);
-            });
-            return;
-        }
+    // Hardened family: verify images (read back a fraction) before
+    // resuming.
+    let verify_fraction = method.verify_fraction();
+    if verify_fraction > 0.0 {
+        let bytes: u64 = {
+            let r = runs(sim).runs.get(&run_id).unwrap();
+            r.images
+                .iter()
+                .flatten()
+                .map(|i| (i.size_bytes() as f64 * verify_fraction) as u64)
+                .sum()
+        };
+        storage::start_transfer(sim, bytes.max(1), move |sim| {
+            coordinated_resume(sim, run_id);
+        });
+        return;
     }
     coordinated_resume(sim, run_id);
 }
@@ -531,7 +787,7 @@ fn coordinated_resume(sim: &mut Sim<ClusterWorld>, run_id: u64) {
                 });
             }
         }
-        LscMethod::Ntp { lead } | LscMethod::Hardened { lead, .. } => {
+        LscMethod::Ntp { lead } => {
             let t_fire_local = fire_instant(sim, lead);
             for (i, vm, host) in members {
                 let d = control::cmd_delay(sim, host);
@@ -541,6 +797,12 @@ fn coordinated_resume(sim: &mut Sim<ClusterWorld>, run_id: u64) {
                     });
                 });
             }
+        }
+        LscMethod::Hardened { .. } | LscMethod::HardenedNaive { .. } => {
+            // The resume side gets the same abort guard as the save side:
+            // no member resumes until every member's agent has acked, so a
+            // partition can delay the resume but can't split it.
+            resume_attempt(sim, run_id);
         }
     }
     // Resume watchdog: arms can be lost to node crashes.
@@ -552,9 +814,129 @@ fn coordinated_resume(sim: &mut Sim<ClusterWorld>, run_id: u64) {
     });
 }
 
+/// One arm/ack round of the hardened resume. Members that already resumed
+/// (a straggler GO from a previous round) are skipped; the round commits —
+/// broadcasts GO — only when every remaining member acks within the
+/// window, otherwise it re-arms, which waits out partitions. A paused
+/// guest is frozen, so patience here costs wall-clock, not correctness.
+fn resume_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
+    let (vc_id, epoch, ack_window, max_attempts, attempts) = {
+        let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+            return;
+        };
+        if r.finished {
+            return;
+        }
+        r.resume_attempts += 1;
+        r.resume_epoch += 1;
+        r.resume_acks = 0;
+        let (win, max) = match r.method {
+            LscMethod::Hardened {
+                lead, max_attempts, ..
+            } => (lead, max_attempts),
+            LscMethod::HardenedNaive {
+                ack_timeout,
+                max_attempts,
+                ..
+            } => (ack_timeout, max_attempts),
+            _ => (SimDuration::from_secs(5), 1),
+        };
+        (r.vc, r.resume_epoch, win, max, r.resume_attempts)
+    };
+    let members = member_hosts(sim, vc_id);
+    let needed = {
+        let r = runs(sim).runs.get(&run_id).expect("run");
+        r.expected - r.resumed
+    };
+    for &(i, _vm, host) in &members {
+        let skip = runs(sim)
+            .runs
+            .get(&run_id)
+            .is_some_and(|r| r.resume_times[i].is_some());
+        if skip {
+            continue;
+        }
+        let d = control::cmd_delay(sim, host);
+        control::ctrl_call(sim, host, d, move |sim| {
+            let back = control::cmd_delay(sim, host);
+            sim.schedule_in(back, move |sim| {
+                let all_armed = {
+                    let Some(r) = runs(sim).runs.get_mut(&run_id) else {
+                        return;
+                    };
+                    if r.resume_epoch != epoch || r.finished {
+                        return;
+                    }
+                    r.resume_acks += 1;
+                    r.resume_acks == needed
+                };
+                if all_armed {
+                    broadcast_resume_go(sim, run_id, epoch, GO_REPEATS);
+                }
+            });
+        });
+    }
+    sim.schedule_in(ack_window, move |sim| {
+        let ok = {
+            let Some(r) = runs(sim).runs.get(&run_id) else {
+                return;
+            };
+            if r.resume_epoch != epoch || r.finished {
+                return;
+            }
+            r.resume_acks == needed
+        };
+        if ok {
+            return;
+        }
+        if attempts < max_attempts {
+            resume_attempt(sim, run_id);
+        } else {
+            finish_run(
+                sim,
+                run_id,
+                false,
+                "resume arms incomplete after retries".into(),
+            );
+        }
+    });
+}
+
+/// Clock-free resume GO, repeated for drop resilience; `fire_resume`
+/// dedupes arrivals.
+fn broadcast_resume_go(sim: &mut Sim<ClusterWorld>, run_id: u64, epoch: u32, repeats_left: u32) {
+    let vc_id = {
+        let Some(r) = runs(sim).runs.get(&run_id) else {
+            return;
+        };
+        if r.resume_epoch != epoch || r.finished {
+            return;
+        }
+        r.vc
+    };
+    for (i, vm, host) in member_hosts(sim, vc_id) {
+        let already = runs(sim)
+            .runs
+            .get(&run_id)
+            .is_some_and(|r| r.resume_times[i].is_some());
+        if already {
+            continue;
+        }
+        let d = control::cmd_delay(sim, host);
+        control::ctrl_call(sim, host, d, move |sim| {
+            fire_resume(sim, run_id, i, vm);
+        });
+    }
+    if repeats_left > 1 {
+        sim.schedule_in(go_spacing(), move |sim| {
+            broadcast_resume_go(sim, run_id, epoch, repeats_left - 1);
+        });
+    }
+}
+
 fn fire_resume(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) {
     let now = sim.now();
-    let all_resumed = {
+    let (all_resumed, save_ok) = {
         let Some(r) = runs(sim).runs.get_mut(&run_id) else {
             return;
         };
@@ -563,11 +945,16 @@ fn fire_resume(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId
         }
         r.resume_times[member] = Some(now);
         r.resumed += 1;
-        r.resumed == r.expected
+        (r.resumed == r.expected, r.save_ok)
     };
     glue::resume_vm(sim, vm);
     if all_resumed {
-        finish_run(sim, run_id, true, "ok".into());
+        let detail = if save_ok {
+            "ok".into()
+        } else {
+            "one or more VM saves failed (members resumed)".into()
+        };
+        finish_run(sim, run_id, save_ok, detail);
     }
 }
 
@@ -604,7 +991,10 @@ fn finish_run(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: S
             set_id,
             pause_skew: skew_of(&r.pause_times),
             resume_skew: skew_of(&r.resume_times),
-            save_duration: r.save_done_at.map(|t| t - r.started).unwrap_or(SimDuration::ZERO),
+            save_duration: r
+                .save_done_at
+                .map(|t| t - r.started)
+                .unwrap_or(SimDuration::ZERO),
             total_duration: now - r.started,
             attempts: r.attempts,
             detail,
@@ -623,6 +1013,36 @@ fn finish_run(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: S
 // ---------------------------------------------------------------------
 // Restore / migration
 // ---------------------------------------------------------------------
+
+/// Why a restore could not even start. Failures *during* a started restore
+/// (down targets, storage giving up, corrupt staged images) are reported
+/// through [`RestoreOutcome`] instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// No stored set has this id (it may have been pruned).
+    UnknownSet(u64),
+    /// Every stored generation of this VC fails its image checksums (or
+    /// none exists at all).
+    NoIntactGeneration(VcId),
+    /// `targets` does not provide exactly one host per vnode.
+    TargetCountMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::UnknownSet(id) => write!(f, "unknown checkpoint set {id}"),
+            RestoreError::NoIntactGeneration(vc) => {
+                write!(f, "no intact checkpoint generation for {vc:?}")
+            }
+            RestoreError::TargetCountMismatch { expected, got } => {
+                write!(f, "need {expected} targets (one per vnode), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 type RestoreCb = Box<dyn FnOnce(&mut Sim<ClusterWorld>, RestoreOutcome)>;
 
@@ -646,30 +1066,44 @@ struct RestoreRuns {
 /// Restore checkpoint set `set_id` onto `targets` (one per vnode; may be a
 /// completely different node set — this is migration). Old instances, if
 /// any survive, are destroyed first. Resumes are NTP-coordinated.
+///
+/// Staged reads retry per the world's [`StorageRetryCfg`]; every staged
+/// image is checksum-verified before placement, so a corrupt generation
+/// fails the restore instead of silently resuming garbage (callers then
+/// fall back via [`restore_vc_intact`]).
+///
+/// [`StorageRetryCfg`]: dvc_cluster::world::StorageRetryCfg
 pub fn restore_vc(
     sim: &mut Sim<ClusterWorld>,
     set_id: u64,
     targets: Vec<NodeId>,
     lead: SimDuration,
     on_done: impl FnOnce(&mut Sim<ClusterWorld>, RestoreOutcome) + 'static,
-) {
+) -> Result<(), RestoreError> {
     let (vc_id, images): (VcId, Vec<VmImage>) = {
-        let st = sim.world.ext.get::<crate::vc::CheckpointStore>().expect("store");
-        let set = st
-            .sets
-            .iter()
-            .find(|s| s.id == set_id)
-            .expect("unknown checkpoint set");
+        let Some(st) = sim.world.ext.get::<crate::vc::CheckpointStore>() else {
+            return Err(RestoreError::UnknownSet(set_id));
+        };
+        let Some(set) = st.sets.iter().find(|s| s.id == set_id) else {
+            return Err(RestoreError::UnknownSet(set_id));
+        };
         (set.vc, set.images.clone())
     };
-    assert_eq!(images.len(), targets.len(), "one target per vnode");
+    if images.len() != targets.len() {
+        return Err(RestoreError::TargetCountMismatch {
+            expected: images.len(),
+            got: targets.len(),
+        });
+    }
 
     if let Some(v) = vc::vc_mut(sim, vc_id) {
         v.state = VcState::Restoring;
         v.hosts = targets.clone();
     }
     // Destroy any survivors of the old incarnation.
-    let old_vms: Vec<VmId> = vc::vc(sim, vc_id).map(|v| v.vms.clone()).unwrap_or_default();
+    let old_vms: Vec<VmId> = vc::vc(sim, vc_id)
+        .map(|v| v.vms.clone())
+        .unwrap_or_default();
     for vm in old_vms {
         glue::destroy_vm(sim, vm);
     }
@@ -695,13 +1129,26 @@ pub fn restore_vc(
         id
     };
 
-    // Stage all images (contended storage reads), placing each paused.
+    // Stage all images (contended storage reads, retried per config),
+    // verifying each checksum end-to-end before placing it paused.
     for (i, (image, target)) in images.into_iter().zip(targets).enumerate() {
         let bytes = image.size_bytes();
         storage::note_bytes(sim, bytes);
-        storage::start_transfer(sim, bytes, move |sim| {
+        storage::transfer_with_retry(sim, bytes, move |sim, ok| {
+            if !ok {
+                restore_failed(sim, run_id, "storage read gave up after retries".into());
+                return;
+            }
             if !sim.world.node(target).up {
                 restore_failed(sim, run_id, format!("target node {target:?} is down"));
+                return;
+            }
+            if !image.verify() {
+                restore_failed(
+                    sim,
+                    run_id,
+                    format!("staged image of {:?} failed its checksum", image.vm),
+                );
                 return;
             }
             glue::place_image_paused(sim, &image, target);
@@ -719,16 +1166,64 @@ pub fn restore_vc(
             }
         });
     }
+    Ok(())
+}
+
+/// Multi-generation fallback restore: pick the newest stored generation of
+/// `vc_id` whose images all pass their checksums and restore that. Returns
+/// the chosen set id, or [`RestoreError::NoIntactGeneration`] when every
+/// generation is corrupt (or none exists).
+pub fn restore_vc_intact(
+    sim: &mut Sim<ClusterWorld>,
+    vc_id: VcId,
+    targets: Vec<NodeId>,
+    lead: SimDuration,
+    on_done: impl FnOnce(&mut Sim<ClusterWorld>, RestoreOutcome) + 'static,
+) -> Result<u64, RestoreError> {
+    let set_id = vc::store(sim)
+        .latest_intact_for(vc_id)
+        .map(|s| s.id)
+        .ok_or(RestoreError::NoIntactGeneration(vc_id))?;
+    restore_vc(sim, set_id, targets, lead, on_done)?;
+    Ok(set_id)
 }
 
 fn restore_resume_all(sim: &mut Sim<ClusterWorld>, run_id: u64, lead: SimDuration) {
+    let t_fire_local = fire_instant(sim, lead);
+    restore_resume_round(sim, run_id, t_fire_local, GO_REPEATS);
+}
+
+/// One round of restore resume arms. Arms are re-sent a few times (to
+/// members not yet seen resuming) so a single dropped control message
+/// can't strand the whole restore; the fire instant is shared, so repeats
+/// add no skew, and the per-member dedupe makes duplicates harmless.
+fn restore_resume_round(
+    sim: &mut Sim<ClusterWorld>,
+    run_id: u64,
+    t_fire_local: i64,
+    repeats_left: u32,
+) {
     let vc_id = {
         let rr = sim.world.ext.get_or_default::<RestoreRuns>();
-        rr.runs.get(&run_id).expect("restore run").vc
+        let Some(r) = rr.runs.get(&run_id) else {
+            return;
+        };
+        if r.finished {
+            return;
+        }
+        r.vc
     };
     let members = member_hosts(sim, vc_id);
-    let t_fire_local = fire_instant(sim, lead);
     for (i, vm, host) in members {
+        let already = sim
+            .world
+            .ext
+            .get::<RestoreRuns>()
+            .and_then(|rr| rr.runs.get(&run_id))
+            .is_some_and(|r| r.resume_times[i].is_some());
+        if already {
+            continue;
+        }
         let d = control::cmd_delay(sim, host);
         control::ctrl_call(sim, host, d, move |sim| {
             schedule_local_fire(sim, host, t_fire_local, move |sim| {
@@ -750,6 +1245,11 @@ fn restore_resume_all(sim: &mut Sim<ClusterWorld>, run_id: u64, lead: SimDuratio
                     restore_finished(sim, run_id, true, "ok".into());
                 }
             });
+        });
+    }
+    if repeats_left > 1 {
+        sim.schedule_in(go_spacing(), move |sim| {
+            restore_resume_round(sim, run_id, t_fire_local, repeats_left - 1);
         });
     }
 }

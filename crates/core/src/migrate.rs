@@ -90,6 +90,7 @@ struct LiveRun {
     total_bytes: u64,
     started: SimTime,
     live_end: Option<SimTime>,
+    #[allow(clippy::type_complexity)]
     on_done: Option<Box<dyn FnOnce(&mut Sim<ClusterWorld>, LiveMigrateOutcome)>>,
 }
 
@@ -175,7 +176,12 @@ pub fn live_migrate_vc(
         }
         for (i, &vm) in vms.iter().enumerate() {
             let Some(&host) = sim.world.vm_host.get(&vm) else {
-                finish(sim, run_id, false, format!("vnode {i} disappeared pre-cutover"));
+                finish(
+                    sim,
+                    run_id,
+                    false,
+                    format!("vnode {i} disappeared pre-cutover"),
+                );
                 return;
             };
             let residue = residues[i];
@@ -198,7 +204,12 @@ fn cutover_one(
 ) {
     let alive = sim.world.vm(vm).is_some_and(|v| v.is_running());
     if !alive {
-        finish(sim, run_id, false, format!("vnode {member} not running at cutover"));
+        finish(
+            sim,
+            run_id,
+            false,
+            format!("vnode {member} not running at cutover"),
+        );
         return;
     }
     glue::pause_vm(sim, vm);
@@ -206,7 +217,9 @@ fn cutover_one(
     let image = sim.world.vm(vm).unwrap().snapshot(now);
     {
         let lr = sim.world.ext.get_or_default::<LiveRuns>();
-        let Some(r) = lr.runs.get_mut(&run_id) else { return };
+        let Some(r) = lr.runs.get_mut(&run_id) else {
+            return;
+        };
         if r.finished {
             return;
         }
@@ -240,8 +253,14 @@ fn cutover_one(
 fn place_and_resume_all(sim: &mut Sim<ClusterWorld>, run_id: u64) {
     let (vc_id, images, targets) = {
         let lr = sim.world.ext.get_or_default::<LiveRuns>();
-        let Some(r) = lr.runs.get_mut(&run_id) else { return };
-        let images: Vec<VmImage> = r.images.iter_mut().map(|i| i.take().expect("image")).collect();
+        let Some(r) = lr.runs.get_mut(&run_id) else {
+            return;
+        };
+        let images: Vec<VmImage> = r
+            .images
+            .iter_mut()
+            .map(|i| i.take().expect("image"))
+            .collect();
         (r.vc, images, r.targets.clone())
     };
     // Destroy sources, place paused, then resume everyone at one instant
@@ -272,7 +291,9 @@ fn finish(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: Strin
     let now = sim.now();
     let (outcome, cb) = {
         let lr = sim.world.ext.get_or_default::<LiveRuns>();
-        let Some(r) = lr.runs.get_mut(&run_id) else { return };
+        let Some(r) = lr.runs.get_mut(&run_id) else {
+            return;
+        };
         if r.finished {
             return;
         }

@@ -10,8 +10,9 @@
 use crate::lsc::{self, LscMethod};
 use crate::vc::{self, VcId};
 use dvc_cluster::node::NodeId;
+use dvc_cluster::ntp;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{Sim, SimDuration};
+use dvc_sim_core::{sim_trace, Sim, SimDuration};
 use dvc_vmm::VmState;
 use std::collections::HashMap;
 
@@ -38,6 +39,15 @@ pub struct Policy {
     pub max_restores: u32,
     /// Health-scan period (failure detection latency).
     pub scan_every: SimDuration,
+    /// Degrade a [`LscMethod::Hardened`] checkpoint to the clock-free
+    /// [`LscMethod::HardenedNaive`] protocol whenever any member host
+    /// hasn't completed an NTP exchange for this long (the coordinator
+    /// can't trust local-clock fire instants then). Recovery back to the
+    /// scheduled protocol is automatic once sync returns.
+    pub degrade_on_stale_sync: Option<SimDuration>,
+    /// Recover from the newest *intact* generation instead of blindly the
+    /// newest one (multi-generation fallback on corrupt images).
+    pub restore_fallback: bool,
 }
 
 impl Policy {
@@ -47,6 +57,8 @@ impl Policy {
             method: LscMethod::ntp_default(),
             max_restores: 16,
             scan_every: SimDuration::from_secs(5),
+            degrade_on_stale_sync: None,
+            restore_fallback: false,
         }
     }
 
@@ -59,6 +71,22 @@ impl Policy {
             method: LscMethod::ntp_default(),
             max_restores: 16,
             scan_every: SimDuration::from_secs(5),
+            degrade_on_stale_sync: None,
+            restore_fallback: false,
+        }
+    }
+
+    /// The full failure-aware pipeline: hardened coordination, degradation
+    /// to clock-free mode on stale NTP sync, and intact-generation
+    /// fallback restores.
+    pub fn hardened(interval: SimDuration) -> Self {
+        Policy {
+            cadence: Cadence::Fixed(interval),
+            method: LscMethod::hardened_default(),
+            max_restores: 16,
+            scan_every: SimDuration::from_secs(5),
+            degrade_on_stale_sync: Some(SimDuration::from_secs(30)),
+            restore_fallback: true,
         }
     }
 }
@@ -73,6 +101,8 @@ pub fn young_interval(ckpt_cost: SimDuration, mtbf: SimDuration) -> SimDuration 
 pub struct RelStats {
     pub checkpoints_ok: u32,
     pub checkpoints_failed: u32,
+    /// Checkpoints taken in clock-free degraded mode (stale NTP sync).
+    pub degraded_checkpoints: u32,
     pub restores: u32,
     pub lost: bool,
 }
@@ -113,17 +143,68 @@ pub fn manage(sim: &mut Sim<ClusterWorld>, vc_id: VcId, policy: Policy) {
     schedule_scan(sim, vc_id);
 }
 
+/// The method to use right now: the configured one, or its clock-free
+/// degradation when NTP sync has gone stale on any member host. The head
+/// node is the time reference itself and never counts as stale.
+fn effective_method(sim: &Sim<ClusterWorld>, vc_id: VcId, policy: Policy) -> (LscMethod, bool) {
+    let Some(stale_after) = policy.degrade_on_stale_sync else {
+        return (policy.method, false);
+    };
+    let LscMethod::Hardened {
+        lead,
+        max_attempts,
+        verify_fraction,
+        ..
+    } = policy.method
+    else {
+        return (policy.method, false);
+    };
+    let Some(v) = vc::vc(sim, vc_id) else {
+        return (policy.method, false);
+    };
+    let head = sim.world.head;
+    let stale = v
+        .hosts
+        .iter()
+        .any(|&h| h != head && ntp::sync_age(sim, h).is_none_or(|a| a > stale_after));
+    if stale {
+        (
+            LscMethod::HardenedNaive {
+                ack_timeout: lead,
+                max_attempts,
+                verify_fraction,
+            },
+            true,
+        )
+    } else {
+        (policy.method, false)
+    }
+}
+
 /// Take a checkpoint immediately (if healthy and idle).
 fn checkpoint_now(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
-    let (active, busy, method) = {
-        let Some(st) = mgrs(sim).0.get(&vc_id) else { return };
-        (st.active, st.busy, st.policy.method)
+    let (active, busy, policy) = {
+        let Some(st) = mgrs(sim).0.get(&vc_id) else {
+            return;
+        };
+        (st.active, st.busy, st.policy)
     };
     if !active || busy || !vc_healthy(sim, vc_id) {
         return;
     }
+    let (method, degraded) = effective_method(sim, vc_id, policy);
     if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
         st.busy = true;
+        if degraded {
+            st.stats.degraded_checkpoints += 1;
+        }
+    }
+    if degraded {
+        sim_trace!(
+            sim,
+            "rel",
+            "{vc_id:?}: NTP sync stale, clock-free checkpoint"
+        );
     }
     lsc::checkpoint_vc(sim, vc_id, method, move |sim, outcome| {
         if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
@@ -148,11 +229,7 @@ pub fn stop(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
 
 /// Statistics accessor.
 pub fn stats(sim: &mut Sim<ClusterWorld>, vc_id: VcId) -> RelStats {
-    mgrs(sim)
-        .0
-        .get(&vc_id)
-        .map(|s| s.stats)
-        .unwrap_or_default()
+    mgrs(sim).0.get(&vc_id).map(|s| s.stats).unwrap_or_default()
 }
 
 fn current_interval(st: &RelState) -> Option<SimDuration> {
@@ -177,11 +254,11 @@ fn schedule_ckpt_tick(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
         return;
     };
     sim.schedule_in(interval, move |sim| {
-        let (active, busy, method) = {
+        let (active, busy, policy) = {
             let Some(st) = mgrs(sim).0.get(&vc_id) else {
                 return;
             };
-            (st.active, st.busy, st.policy.method)
+            (st.active, st.busy, st.policy)
         };
         if !active {
             return;
@@ -196,8 +273,19 @@ fn schedule_ckpt_tick(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
             schedule_ckpt_tick(sim, vc_id);
             return;
         }
+        let (method, degraded) = effective_method(sim, vc_id, policy);
         if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
             st.busy = true;
+            if degraded {
+                st.stats.degraded_checkpoints += 1;
+            }
+        }
+        if degraded {
+            sim_trace!(
+                sim,
+                "rel",
+                "{vc_id:?}: NTP sync stale, clock-free checkpoint"
+            );
         }
         lsc::checkpoint_vc(sim, vc_id, method, move |sim, outcome| {
             if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
@@ -220,11 +308,10 @@ fn vc_healthy(sim: &Sim<ClusterWorld>, vc_id: VcId) -> bool {
     let Some(v) = vc::vc(sim, vc_id) else {
         return false;
     };
-    v.vms.iter().all(|&vm| {
-        sim.world
-            .vm(vm)
-            .is_some_and(|x| x.state != VmState::Dead)
-    }) && v.hosts.iter().all(|&h| sim.world.node(h).up)
+    v.vms
+        .iter()
+        .all(|&vm| sim.world.vm(vm).is_some_and(|x| x.state != VmState::Dead))
+        && v.hosts.iter().all(|&h| sim.world.node(h).up)
 }
 
 fn schedule_scan(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
@@ -261,21 +348,17 @@ fn pick_targets(sim: &Sim<ClusterWorld>, n: usize, avoid_down: bool) -> Option<V
         .filter(|node| !avoid_down || node.up)
         .map(|node| node.id)
         .collect();
-    candidates.sort_by_key(|&id| {
-        (
-            sim.world.node(id).domains.len(),
-            id.0,
-        )
-    });
+    candidates.sort_by_key(|&id| (sim.world.node(id).domains.len(), id.0));
     if candidates.len() < n {
         return None;
     }
     Some(candidates[..n].to_vec())
 }
 
-/// Restore the latest set onto fresh hosts.
+/// Restore the latest (or latest *intact*, with `restore_fallback`) set
+/// onto fresh hosts.
 fn recover(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
-    let (allowed, restores) = {
+    let (allowed, restores, fallback) = {
         let Some(st) = mgrs(sim).0.get_mut(&vc_id) else {
             return;
         };
@@ -283,9 +366,17 @@ fn recover(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
             return;
         }
         st.busy = true;
-        (st.policy.max_restores, st.stats.restores)
+        (
+            st.policy.max_restores,
+            st.stats.restores,
+            st.policy.restore_fallback,
+        )
     };
-    let set_id = vc::store(sim).latest_for(vc_id).map(|s| s.id);
+    let set_id = if fallback {
+        vc::store(sim).latest_intact_for(vc_id).map(|s| s.id)
+    } else {
+        vc::store(sim).latest_for(vc_id).map(|s| s.id)
+    };
     let n = vc::vc(sim, vc_id).map(|v| v.vms.len()).unwrap_or(0);
     let give_up = |sim: &mut Sim<ClusterWorld>, why: &str| {
         if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
@@ -310,14 +401,23 @@ fn recover(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
     if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
         st.stats.restores += 1;
     }
-    lsc::restore_vc(sim, set_id, targets, SimDuration::from_secs(5), move |sim, out| {
-        if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
-            st.busy = false;
-            if !out.success {
-                // The scan will try again (counts against the budget).
+    let started = lsc::restore_vc(
+        sim,
+        set_id,
+        targets,
+        SimDuration::from_secs(5),
+        move |sim, out| {
+            if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
+                st.busy = false;
+                if !out.success {
+                    // The scan will try again (counts against the budget).
+                }
             }
-        }
-    });
+        },
+    );
+    if started.is_err() {
+        give_up(sim, "restore could not start");
+    }
 }
 
 #[cfg(test)]

@@ -88,11 +88,7 @@ pub struct VirtualCluster {
 impl VirtualCluster {
     /// Classify the current mapping against the physical clusters.
     pub fn mapping(&self, world: &ClusterWorld) -> Mapping {
-        let mut clusters: Vec<_> = self
-            .hosts
-            .iter()
-            .map(|&h| world.node(h).cluster)
-            .collect();
+        let mut clusters: Vec<_> = self.hosts.iter().map(|&h| world.node(h).cluster).collect();
         clusters.sort();
         clusters.dedup();
         if clusters.len() > 1 {
@@ -150,6 +146,11 @@ impl CheckpointSet {
     pub fn total_bytes(&self) -> u64 {
         self.images.iter().map(|i| i.size_bytes()).sum()
     }
+
+    /// Every image in the set passes its end-to-end checksum.
+    pub fn intact(&self) -> bool {
+        self.images.iter().all(|i| i.verify())
+    }
 }
 
 /// The world-resident store of completed checkpoint sets.
@@ -169,8 +170,18 @@ impl CheckpointStore {
         self.sets.iter().rev().find(|s| s.vc == vc)
     }
 
-    /// Drop all but the most recent `keep` sets of a VC (GC).
+    /// Newest set of `vc` whose images all pass their checksums — what a
+    /// fallback restore reaches for when the latest generation is corrupt.
+    pub fn latest_intact_for(&self, vc: VcId) -> Option<&CheckpointSet> {
+        self.sets.iter().rev().find(|s| s.vc == vc && s.intact())
+    }
+
+    /// Drop all but the most recent `keep` sets of a VC (GC). The newest
+    /// *intact* set is never dropped, even when it falls outside the keep
+    /// window — otherwise GC after a run of corrupt checkpoints could
+    /// delete the only generation a fallback restore can use.
     pub fn prune(&mut self, vc: VcId, keep: usize) {
+        let protected = self.latest_intact_for(vc).map(|s| s.id);
         let ids: Vec<u64> = self
             .sets
             .iter()
@@ -178,7 +189,11 @@ impl CheckpointStore {
             .map(|s| s.id)
             .collect();
         if ids.len() > keep {
-            let cut: Vec<u64> = ids[..ids.len() - keep].to_vec();
+            let cut: Vec<u64> = ids[..ids.len() - keep]
+                .iter()
+                .copied()
+                .filter(|&id| Some(id) != protected)
+                .collect();
             self.sets.retain(|s| !cut.contains(&s.id));
         }
     }
@@ -217,6 +232,7 @@ pub fn provision_vc(
     // image lands; collect readiness.
     struct Pending {
         remaining: usize,
+        #[allow(clippy::type_complexity)]
         on_ready: Option<Box<dyn FnOnce(&mut Sim<ClusterWorld>, VcId)>>,
     }
     let pending = std::rc::Rc::new(std::cell::RefCell::new(Pending {

@@ -112,9 +112,7 @@ fn managed_batch_job_survives_node_crash() {
     // The data is verified.
     let mpi = batch::mpi_job(&mut sim, id).unwrap();
     for r in 0..mpi.size {
-        assert!(ring::ring_ok(
-            &dvc_mpi::harness::rank(&sim, &mpi, r).data
-        ));
+        assert!(ring::ring_ok(&dvc_mpi::harness::rank(&sim, &mpi, r).data));
     }
 }
 
@@ -134,7 +132,11 @@ fn unmanaged_batch_job_fails_on_crash_and_frees_nodes() {
     assert!(ok);
     let st = batch::job_status(&mut sim, id).unwrap();
     assert_eq!(st.state, DvcJobState::Failed);
-    assert_eq!(sim.world.rm.busy_nodes(), 0, "failed job must release nodes");
+    assert_eq!(
+        sim.world.rm.busy_nodes(),
+        0,
+        "failed job must release nodes"
+    );
 }
 
 #[test]
@@ -230,5 +232,8 @@ fn image_cache_accelerates_reprovisioning() {
     // Publishing a new version forces restaging.
     images::manager(&mut sim).publish(img);
     let after_publish = provision(&mut sim);
-    assert!(after_publish > 9.0, "publish must invalidate: {after_publish}");
+    assert!(
+        after_publish > 9.0,
+        "publish must invalidate: {after_publish}"
+    );
 }

@@ -60,9 +60,15 @@ fn live_migration_moves_vc_with_short_downtime() {
     let at = sim.now() + SimDuration::from_secs(40);
     sim.schedule_at(at, move |sim| {
         let targets: Vec<NodeId> = (5..=8).map(NodeId).collect();
-        live_migrate_vc(sim, vc_id, targets, LiveMigrateCfg::default(), |sim, out| {
-            sim.world.ext.insert(out);
-        });
+        live_migrate_vc(
+            sim,
+            vc_id,
+            targets,
+            LiveMigrateCfg::default(),
+            |sim, out| {
+                sim.world.ext.insert(out);
+            },
+        );
     });
 
     let done = run_until(&mut sim, SimTime::from_secs_f64(3600.0), |sim| {

@@ -42,11 +42,7 @@ fn world(n: usize, seed: u64) -> Sim<ClusterWorld> {
 
 /// Provision a VC on nodes 1..=n, run a ring job on it, returning ids.
 /// The world runs until the VC is up and the job is launched.
-fn vc_with_ring(
-    sim: &mut Sim<ClusterWorld>,
-    n: usize,
-    laps: u64,
-) -> (VcId, MpiJob) {
+fn vc_with_ring(sim: &mut Sim<ClusterWorld>, n: usize, laps: u64) -> (VcId, MpiJob) {
     let hosts: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
     let mut spec = VcSpec::new("job-vc", n, 64);
     spec.os_image_bytes = 64 << 20; // small image: fast tests
@@ -102,7 +98,10 @@ fn ntp_lsc_checkpoints_running_job_with_ms_skew() {
         lsc::checkpoint_vc(sim, vc_id, LscMethod::ntp_default(), stash_outcome);
     });
     let ok = run_until(&mut sim, SimTime::from_secs_f64(3600.0), |sim| {
-        !sim.world.ext.get::<Vec<LscOutcome>>().map_or(true, |v| v.is_empty())
+        !sim.world
+            .ext
+            .get::<Vec<LscOutcome>>()
+            .is_none_or(|v| v.is_empty())
             && (harness::all_done(sim, &job) || harness::first_failure(sim, &job).is_some())
     });
     assert!(ok, "job never finished");
@@ -210,7 +209,8 @@ fn checkpoint_set_restores_onto_different_nodes() {
                         assert!(out.success, "restore failed: {}", out.detail);
                         sim.world.ext.insert(out);
                     },
-                );
+                )
+                .expect("restore should start");
             });
         });
     });
@@ -254,7 +254,10 @@ fn hardened_lsc_survives_agent_faults_that_kill_plain_ntp() {
         });
         let job_ok = harness::first_failure(&sim, &job).is_none();
         let attempts = outcomes(&sim).first().map(|o| o.attempts).unwrap_or(0);
-        (job_ok && outcomes(&sim).first().is_some_and(|o| o.success), attempts)
+        (
+            job_ok && outcomes(&sim).first().is_some_and(|o| o.success),
+            attempts,
+        )
     };
 
     // With 8 nodes and p=0.25 the chance all 8 arms survive is ~10%; this
@@ -318,5 +321,59 @@ fn adversarial_instant_checkpoints_keep_exactly_once_semantics() {
             assert_eq!(d.u64("ring.errors"), 0, "offset {offset_ms}: rank {r}");
         }
         assert!(outcomes(&sim)[0].success);
+    }
+}
+
+/// The clock-free hardened coordinator (the degraded mode used when NTP is
+/// lost) checkpoints a running job, and its arm/ack abort guard waits out a
+/// control-plane partition: the first attempt(s) abort with *nothing
+/// paused* — the job never notices — and a later attempt commits.
+#[test]
+fn hardened_naive_survives_control_partition_via_abort_and_rearm() {
+    let mut sim = world(6, 4001);
+    let (vc_id, job) = vc_with_ring(&mut sim, 6, 900);
+    let at = sim.now() + SimDuration::from_secs(60);
+    // Partition one member's control path exactly when the checkpoint
+    // starts, lasting past the first arm window.
+    sim.world.faults.window(
+        "control.partition",
+        Some(2),
+        at,
+        at + SimDuration::from_secs(8),
+        1.0,
+    );
+    sim.schedule_at(at, move |sim| {
+        lsc::checkpoint_vc(
+            sim,
+            vc_id,
+            LscMethod::hardened_naive_default(),
+            stash_outcome,
+        );
+    });
+    let ok = run_until(&mut sim, SimTime::from_secs_f64(3600.0), |sim| {
+        !outcomes(sim).is_empty()
+            && (harness::all_done(sim, &job) || harness::first_failure(sim, &job).is_some())
+    });
+    assert!(ok, "job never finished");
+    assert!(
+        harness::first_failure(&sim, &job).is_none(),
+        "job failed: {:?}",
+        harness::first_failure(&sim, &job)
+    );
+    let out = &outcomes(&sim)[0];
+    assert!(out.success, "checkpoint failed: {}", out.detail);
+    assert_eq!(out.method, "hardened-naive");
+    assert!(
+        out.attempts >= 2,
+        "partition should abort at least the first attempt: {out:?}"
+    );
+    // Clock-free GO keeps skew inside the TCP silence budget (~3 s).
+    assert!(
+        out.pause_skew < SimDuration::from_secs_f64(3.0),
+        "pause skew {}",
+        out.pause_skew
+    );
+    for r in 0..job.size {
+        assert!(ring::ring_ok(&harness::rank(&sim, &job, r).data));
     }
 }

@@ -145,13 +145,7 @@ pub fn allreduce(
     fold: crate::ops::ApplyFn,
 ) -> Vec<Op> {
     let mut ops = reduce(0, rank, size, tag_base, slot, fold);
-    ops.extend(bcast(
-        0,
-        rank,
-        size,
-        tag_base + size as u32,
-        slot,
-    ));
+    ops.extend(bcast(0, rank, size, tag_base + size as u32, slot));
     ops
 }
 
@@ -185,6 +179,7 @@ pub fn alltoall(rank: usize, size: usize, tag_base: u32, prefix: &str) -> Vec<Op
 mod tests {
     use super::*;
 
+    #[allow(clippy::type_complexity)]
     fn sends_and_recvs(ops: &[Op]) -> (Vec<(usize, u32)>, Vec<(usize, u32)>) {
         let mut s = Vec::new();
         let mut r = Vec::new();
@@ -236,8 +231,7 @@ mod tests {
     fn bcast_is_matched_and_rooted() {
         for size in [2, 3, 6, 7, 16, 26] {
             for root in [0, 1, size - 1] {
-                let all: Vec<Vec<Op>> =
-                    (0..size).map(|r| bcast(root, r, size, 200, "x")).collect();
+                let all: Vec<Vec<Op>> = (0..size).map(|r| bcast(root, r, size, 200, "x")).collect();
                 check_matched(&all);
                 // Root only sends; every other rank receives exactly once.
                 let (s, r) = sends_and_recvs(&all[root]);

@@ -50,10 +50,7 @@ pub fn launch(
         let rt = MpiRuntime::new(rank, n_ranks, map.clone(), gflops, ops, data);
         spawn_proc(sim, vm, format!("rank{rank}"), Box::new(rt));
     }
-    MpiJob {
-        vms,
-        size: n_ranks,
-    }
+    MpiJob { vms, size: n_ranks }
 }
 
 /// Start `program(rank, size)` on an *existing* set of VMs (one rank per
@@ -112,10 +109,7 @@ pub fn launch_hinted(
             .with_peer_hint(hint(rank, n_ranks));
         spawn_proc(sim, vm, format!("rank{rank}"), Box::new(rt));
     }
-    MpiJob {
-        vms,
-        size: n_ranks,
-    }
+    MpiJob { vms, size: n_ranks }
 }
 
 /// The ring-neighbour hint: `{rank−1, rank+1} mod size`.

@@ -18,7 +18,6 @@ use dvc_sim_core::SimDuration;
 use dvc_vmm::guest::{GuestCtx, GuestProc, ProcPoll};
 use std::collections::{HashMap, VecDeque};
 
-
 /// The port every rank's runtime listens on (one rank per VM).
 pub const MPI_PORT: u16 = 6000;
 
@@ -270,7 +269,10 @@ impl MpiRuntime {
                 continue;
             };
             if let Some(err) = ctx.tcp.error(sock) {
-                return Err(format!("rank {}: connection to rank {r} failed: {err:?}", self.rank));
+                return Err(format!(
+                    "rank {}: connection to rank {r} failed: {err:?}",
+                    self.rank
+                ));
             }
             loop {
                 let chunk = ctx.tcp.recv(ctx.now, sock, 1 << 16);
@@ -353,12 +355,10 @@ impl MpiRuntime {
                 Op::Recv { from, tag, into } => {
                     let msg = self.inbox.get_mut(&(from, tag)).and_then(|q| q.pop_front());
                     match msg {
-                        Some(payload) => {
-                            match Value::decode(bytes::Bytes::from(payload)) {
-                                Ok(v) => self.data.set(into, v),
-                                Err(e) => return self.fail(format!("recv decode: {e}")),
-                            }
-                        }
+                        Some(payload) => match Value::decode(bytes::Bytes::from(payload)) {
+                            Ok(v) => self.data.set(into, v),
+                            Err(e) => return self.fail(format!("recv decode: {e}")),
+                        },
                         None => {
                             // Not here yet: retry on the next wakeup.
                             self.script.push_front(Op::Recv { from, tag, into });
@@ -458,7 +458,14 @@ mod tests {
 
     #[test]
     fn frame_layout() {
-        let rt = MpiRuntime::new(3, 4, vec![Addr::Virt(dvc_net::VirtAddr(0)); 4], 1.0, vec![], RankData::new());
+        let rt = MpiRuntime::new(
+            3,
+            4,
+            vec![Addr::Virt(dvc_net::VirtAddr(0)); 4],
+            1.0,
+            vec![],
+            RankData::new(),
+        );
         let f = rt.frame(7, b"abc");
         assert_eq!(f.len(), HDR + 3);
         assert_eq!(u32::from_le_bytes(f[0..4].try_into().unwrap()), 3);
@@ -469,28 +476,59 @@ mod tests {
 
     #[test]
     fn self_send_loops_back() {
-        let mut rt = MpiRuntime::new(0, 1, vec![Addr::Virt(dvc_net::VirtAddr(0))], 1.0, vec![], RankData::new());
+        let mut rt = MpiRuntime::new(
+            0,
+            1,
+            vec![Addr::Virt(dvc_net::VirtAddr(0))],
+            1.0,
+            vec![],
+            RankData::new(),
+        );
         rt.post(0, 5, Value::U64(9).encode().to_vec());
         let msg = rt.inbox.get_mut(&(0, 5)).unwrap().pop_front().unwrap();
-        assert_eq!(Value::decode(bytes::Bytes::from(msg)).unwrap(), Value::U64(9));
+        assert_eq!(
+            Value::decode(bytes::Bytes::from(msg)).unwrap(),
+            Value::U64(9)
+        );
         assert_eq!(rt.stats.msgs_sent, 1);
         assert_eq!(rt.stats.msgs_received, 1);
     }
 
     #[test]
     fn parse_frames_handles_partials() {
-        let mut rt = MpiRuntime::new(0, 2, vec![Addr::Virt(dvc_net::VirtAddr(0)); 2], 1.0, vec![], RankData::new());
+        let mut rt = MpiRuntime::new(
+            0,
+            2,
+            vec![Addr::Virt(dvc_net::VirtAddr(0)); 2],
+            1.0,
+            vec![],
+            RankData::new(),
+        );
         let payload = Value::F64(2.5).encode().to_vec();
-        let mut f = MpiRuntime::new(1, 2, vec![Addr::Virt(dvc_net::VirtAddr(0)); 2], 1.0, vec![], RankData::new())
-            .frame(9, &payload);
+        let mut f = MpiRuntime::new(
+            1,
+            2,
+            vec![Addr::Virt(dvc_net::VirtAddr(0)); 2],
+            1.0,
+            vec![],
+            RankData::new(),
+        )
+        .frame(9, &payload);
         let second_half = f.split_off(7);
         rt.peers.entry(1).or_default().rx.extend_from_slice(&f);
         rt.parse_frames(1);
         assert!(rt.inbox.is_empty(), "partial frame must not parse");
-        rt.peers.entry(1).or_default().rx.extend_from_slice(&second_half);
+        rt.peers
+            .entry(1)
+            .or_default()
+            .rx
+            .extend_from_slice(&second_half);
         rt.parse_frames(1);
         let msg = rt.inbox.get_mut(&(1, 9)).unwrap().pop_front().unwrap();
-        assert_eq!(Value::decode(bytes::Bytes::from(msg)).unwrap(), Value::F64(2.5));
+        assert_eq!(
+            Value::decode(bytes::Bytes::from(msg)).unwrap(),
+            Value::F64(2.5)
+        );
         assert!(rt.peers[&1].rx.is_empty());
     }
 }

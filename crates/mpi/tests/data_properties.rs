@@ -8,13 +8,12 @@ use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
-        any::<f64>().prop_filter("no NaN (NaN != NaN)", |x| !x.is_nan()).prop_map(Value::F64),
+        any::<f64>()
+            .prop_filter("no NaN (NaN != NaN)", |x| !x.is_nan())
+            .prop_map(Value::F64),
         any::<u64>().prop_map(Value::U64),
-        prop::collection::vec(
-            any::<f64>().prop_filter("no NaN", |x| !x.is_nan()),
-            0..300
-        )
-        .prop_map(Value::F64Vec),
+        prop::collection::vec(any::<f64>().prop_filter("no NaN", |x| !x.is_nan()), 0..300)
+            .prop_map(Value::F64Vec),
         prop::collection::vec(any::<u64>(), 0..300).prop_map(Value::U64Vec),
         prop::collection::vec(any::<u8>(), 0..1000).prop_map(Value::Bytes),
     ]

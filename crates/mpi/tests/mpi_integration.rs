@@ -151,7 +151,11 @@ fn alltoall_exchanges_distinct_blocks() {
             // Block content encodes (sender, receiver).
             data.set(
                 format!("t.send.{to}"),
-                Value::U64Vec(vec![rank as u64, to as u64, 1000 + (rank * size + to) as u64]),
+                Value::U64Vec(vec![
+                    rank as u64,
+                    to as u64,
+                    1000 + (rank * size + to) as u64,
+                ]),
             );
         }
         (collectives::alltoall(rank, size, 500, "t"), data)
@@ -264,7 +268,7 @@ fn large_sparse_ring_avoids_full_mesh() {
         let prev = (rank + size - 1) % size;
         let tag = 700 + iter as u32;
         let mut ops = vec![Op::Apply(|d, r, _s| d.set("tok", Value::U64(r as u64)))];
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             ops.push(Op::send(next, tag, "tok"));
             ops.push(Op::recv(prev, tag, "got"));
         } else {

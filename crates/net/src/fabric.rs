@@ -493,13 +493,12 @@ mod tests {
         let (mut sim, _, _) = two_host_world(LinkParams::gige_lan().with_loss(0.3));
         for i in 0..n {
             // Space packets out to avoid queue interactions.
-            sim.schedule_at(
-                dvc_sim_core::SimTime(i * 1_000_000),
-                move |sim| send(sim, udp_pkt(0, 1, 10)),
-            );
+            sim.schedule_at(dvc_sim_core::SimTime(i * 1_000_000), move |sim| {
+                send(sim, udp_pkt(0, 1, 10))
+            });
         }
         sim.run_to_completion(100_000);
-        lost += n as u64 - sim.world.fabric.counters.delivered;
+        lost += n - sim.world.fabric.counters.delivered;
         let rate = lost as f64 / n as f64;
         // Two lossy edge hops: P(drop) = 1-(0.7)² = 0.51.
         assert!((rate - 0.51).abs() < 0.06, "loss rate {rate}");

@@ -201,6 +201,10 @@ struct Socket {
     snd_una: u32,
     /// Next sequence number to send.
     snd_nxt: u32,
+    /// Highest sequence number ever sent (BSD `snd_max`). `snd_nxt` can be
+    /// pulled back below this on a go-back-N timeout; ACK validity must be
+    /// judged against the high-water mark, not the pulled-back pointer.
+    snd_max: u32,
     /// Peer-advertised window.
     snd_wnd: u32,
     /// Bytes queued (front of queue corresponds to `snd_una`).
@@ -256,6 +260,7 @@ impl Socket {
             remote: None,
             snd_una: 0,
             snd_nxt: 0,
+            snd_max: 0,
             snd_wnd: 0,
             send_q: VecDeque::new(),
             fin_queued: false,
@@ -352,7 +357,11 @@ impl TcpStack {
     /// Debug/diagnostic view of a socket's sequence state:
     /// (snd_una, snd_nxt, send_q, rcv_nxt, recv_q, ooo segments).
     #[doc(hidden)]
-    pub fn debug_seq_state(&self, sock: SockId) -> Option<(u32, u32, usize, u32, usize, Vec<(u32, usize)>)> {
+    #[allow(clippy::type_complexity)]
+    pub fn debug_seq_state(
+        &self,
+        sock: SockId,
+    ) -> Option<(u32, u32, usize, u32, usize, Vec<(u32, usize)>)> {
         let s = self.sockets.get(&sock)?;
         Some((
             s.snd_una,
@@ -431,6 +440,7 @@ impl TcpStack {
         s.remote = Some((remote, remote_port));
         s.snd_una = isn;
         s.snd_nxt = isn.wrapping_add(1);
+        s.snd_max = s.snd_nxt;
         s.cwnd = self.cfg.mss as f64 * 10.0; // IW10
         s.rto_ns = self.cfg.rto_initial_ns;
         s.rtx_deadline = Some(now + s.rto_ns);
@@ -568,15 +578,17 @@ impl TcpStack {
             .flat_map(|s| {
                 s.rtx_deadline
                     .into_iter()
-                    .chain(s.time_wait_deadline.into_iter())
-                    .chain(s.ka_deadline.into_iter())
+                    .chain(s.time_wait_deadline)
+                    .chain(s.ka_deadline)
             })
             .min()
     }
 
     /// Fire all deadlines ≤ `now`.
     pub fn on_timer(&mut self, now: LocalNs) {
-        let ids: Vec<SockId> = self.sockets.keys().copied().collect();
+        let mut ids: Vec<SockId> = self.sockets.keys().copied().collect();
+        // HashMap order must never leak into event ordering — determinism.
+        ids.sort_unstable();
         for id in ids {
             let Some(s) = self.sockets.get(&id) else {
                 continue;
@@ -688,6 +700,19 @@ impl TcpStack {
                     self.counters.zero_window_probes += 1;
                     self.send_window_probe(sock);
                 } else {
+                    // Go-back-N (classic BSD): everything beyond the head may
+                    // be gone (e.g. dropped at a paused guest's vif), so pull
+                    // snd_nxt back to the retransmitted head. Leaving it
+                    // forward strands the lost range as phantom flight that
+                    // caps the post-timeout window at zero: each RTO then
+                    // resets cwnd and moves one MSS per backed-off timeout —
+                    // a livelock. Pulled back, the returning ACK reopens the
+                    // window and the ACK clock re-sends the range as fresh
+                    // data (receivers trim the duplicate overlap).
+                    if !s.send_q.is_empty() {
+                        let head = s.send_q.len().min(cfg.mss) as u32;
+                        s.snd_nxt = s.snd_una.wrapping_add(head);
+                    }
                     self.counters.retransmits += 1;
                     self.retransmit_head(sock);
                 }
@@ -739,7 +764,10 @@ impl TcpStack {
     // ------------------------------------------------------------------
 
     fn adv_wnd(&self, s: &Socket) -> u32 {
-        (self.cfg.recv_buf.saturating_sub(s.recv_q.len() + s.ooo_bytes())) as u32
+        (self
+            .cfg
+            .recv_buf
+            .saturating_sub(s.recv_q.len() + s.ooo_bytes())) as u32
     }
 
     fn emit_segment(&mut self, sock: SockId, seq: u32, flags: TcpFlags, payload: Bytes) {
@@ -841,20 +869,21 @@ impl TcpStack {
             if unsent > 0 && room > 0 {
                 let take = (unsent.min(room) as usize).min(cfg.mss);
                 let offset = s.flight() as usize;
-                let chunk: Vec<u8> = s
-                    .send_q
-                    .iter()
-                    .skip(offset)
-                    .take(take)
-                    .copied()
-                    .collect();
+                let chunk: Vec<u8> = s.send_q.iter().skip(offset).take(take).copied().collect();
                 let seq = s.snd_nxt;
                 s.snd_nxt = s.snd_nxt.wrapping_add(take as u32);
+                if seq_gt(s.snd_nxt, s.snd_max) {
+                    s.snd_max = s.snd_nxt;
+                }
                 if s.rtt_probe.is_none() {
                     s.rtt_probe = Some((s.snd_nxt, now));
                 }
                 if s.rtx_deadline.is_none() {
-                    s.rto_ns = if s.rto_ns == 0 { cfg.rto_initial_ns } else { s.rto_ns };
+                    s.rto_ns = if s.rto_ns == 0 {
+                        cfg.rto_initial_ns
+                    } else {
+                        s.rto_ns
+                    };
                     s.rtx_deadline = Some(now + s.rto_ns);
                 }
                 self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::from(chunk));
@@ -866,8 +895,15 @@ impl TcpStack {
                 let seq = s.snd_nxt;
                 s.fin_seq = Some(seq);
                 s.snd_nxt = s.snd_nxt.wrapping_add(1);
+                if seq_gt(s.snd_nxt, s.snd_max) {
+                    s.snd_max = s.snd_nxt;
+                }
                 if s.rtx_deadline.is_none() {
-                    s.rto_ns = if s.rto_ns == 0 { cfg.rto_initial_ns } else { s.rto_ns };
+                    s.rto_ns = if s.rto_ns == 0 {
+                        cfg.rto_initial_ns
+                    } else {
+                        s.rto_ns
+                    };
                     s.rtx_deadline = Some(now + s.rto_ns);
                 }
                 self.emit_segment(sock, seq, TcpFlags::FIN_ACK, Bytes::new());
@@ -907,6 +943,9 @@ impl TcpStack {
             let b = s.send_q[0];
             let seq = s.snd_nxt;
             s.snd_nxt = s.snd_nxt.wrapping_add(1);
+            if seq_gt(s.snd_nxt, s.snd_max) {
+                s.snd_max = s.snd_nxt;
+            }
             self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::copy_from_slice(&[b]));
         } else if s.flight() > 0 && !s.send_q.is_empty() {
             // Re-probe with the same in-flight head byte.
@@ -957,6 +996,7 @@ impl TcpStack {
         s.remote = Some((src, seg.src_port));
         s.snd_una = isn;
         s.snd_nxt = isn.wrapping_add(1);
+        s.snd_max = s.snd_nxt;
         s.snd_wnd = seg.wnd;
         s.cwnd = self.cfg.mss as f64 * 10.0;
         s.rcv_nxt = seg.seq.wrapping_add(1);
@@ -1096,14 +1136,19 @@ impl TcpStack {
             return;
         };
         let ack = seg.ack;
-        let snd_max = s.snd_nxt;
 
-        if seq_gt(ack, snd_max) {
+        if seq_gt(ack, s.snd_max) {
             // Acks something we never sent; ignore (sim: shouldn't happen).
             return;
         }
 
         if seq_gt(ack, s.snd_una) {
+            // After a go-back-N pull-back the peer's cumulative ACK can sit
+            // beyond snd_nxt (it covers data sent before the timeout); snap
+            // snd_nxt forward so flight() stays non-negative.
+            if seq_gt(ack, s.snd_nxt) {
+                s.snd_nxt = ack;
+            }
             let newly_acked = ack.wrapping_sub(s.snd_una);
             // Consume acked bytes from the queue (FIN consumes seq but no bytes).
             let data_acked = (newly_acked as usize).min(s.send_q.len());
@@ -1177,7 +1222,7 @@ impl TcpStack {
                 return;
             };
             // Timer maintenance: restart if data remains in flight.
-            if s.flight() == 0 && s.fin_seq.map_or(true, |f| seq_lt(f, s.snd_una)) {
+            if s.flight() == 0 && s.fin_seq.is_none_or(|f| seq_lt(f, s.snd_una)) {
                 s.rtx_deadline = None;
             } else if s.rtx_deadline.is_some() {
                 s.rtx_deadline = Some(now + s.rto_ns);
@@ -1251,9 +1296,7 @@ impl TcpStack {
                     (seq, payload.clone())
                 };
                 // Respect our advertised buffer: drop overflow bytes.
-                let space = cfg
-                    .recv_buf
-                    .saturating_sub(s.recv_q.len() + s.ooo_bytes());
+                let space = cfg.recv_buf.saturating_sub(s.recv_q.len() + s.ooo_bytes());
                 let data = if data.len() > space {
                     data.slice(..space)
                 } else {
@@ -1266,10 +1309,7 @@ impl TcpStack {
                         delivered_bytes += data.len() as u64;
                         advanced = true;
                         // Pull contiguous out-of-order segments.
-                        loop {
-                            let Some((&oseq, _)) = s.ooo.iter().next() else {
-                                break;
-                            };
+                        while let Some((&oseq, _)) = s.ooo.iter().next() {
                             if seq_gt(oseq, s.rcv_nxt) {
                                 break;
                             }

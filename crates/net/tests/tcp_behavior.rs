@@ -242,10 +242,7 @@ fn bidirectional_transfers_coexist() {
 
 #[test]
 fn transfer_survives_random_loss() {
-    let mut sim = world(
-        LinkParams::gige_lan().with_loss(0.02),
-        TcpConfig::default(),
-    );
+    let mut sim = world(LinkParams::gige_lan().with_loss(0.02), TcpConfig::default());
     let (sa, sb) = establish(&mut sim);
     let data = rand_payload(256 * 1024, 4);
     let got = transfer(&mut sim, A, sa, B, sb, &data, secs(300.0));
@@ -275,10 +272,7 @@ fn fast_retransmit_recovers_single_drop() {
     assert_eq!(got, data);
     assert_eq!(sim.world.drop_rules[0].dropped, 1);
     let c = sim.world.hosts[A].tcp.counters;
-    assert!(
-        c.fast_retransmits >= 1,
-        "expected a fast retransmit: {c:?}"
-    );
+    assert!(c.fast_retransmits >= 1, "expected a fast retransmit: {c:?}");
 }
 
 #[test]
@@ -349,7 +343,11 @@ fn zero_window_blocks_then_resumes() {
         if received.len() >= data.len() {
             break;
         }
-        assert!(sim.now() <= horizon, "drain stalled ({} bytes)", received.len());
+        assert!(
+            sim.now() <= horizon,
+            "drain stalled ({} bytes)",
+            received.len()
+        );
         assert!(sim.step(), "queue empty with transfer incomplete");
     }
     assert_eq!(received, data, "stream corrupted through zero-window stall");
@@ -380,7 +378,9 @@ fn frozen_peer_exhausts_retries_and_resets() {
     pause(&mut sim, B);
     let t_freeze = sim.now();
     let now = local_now(&sim);
-    sim.world.hosts[A].tcp.send(now, sa, &rand_payload(50_000, 8));
+    sim.world.hosts[A]
+        .tcp
+        .send(now, sa, &rand_payload(50_000, 8));
     drain(&mut sim, A);
 
     let ok = run_until(&mut sim, secs(600.0), |sim| any_failure(sim, A));
@@ -579,7 +579,9 @@ fn skewed_pause_beyond_budget_fails() {
     pause(&mut sim, B);
     let snap_b = snapshot(&sim, B);
     let now = local_now(&sim);
-    sim.world.hosts[A].tcp.send(now, sa, &rand_payload(40_000, 11));
+    sim.world.hosts[A]
+        .tcp
+        .send(now, sa, &rand_payload(40_000, 11));
     drain(&mut sim, A);
 
     // Restore B 20 s later: too late.
@@ -724,4 +726,72 @@ fn close_with_unsent_data_flushes_before_fin() {
     });
     assert!(ok, "got {} of {} bytes", received.len(), data.len());
     assert_eq!(received, data);
+}
+
+/// Regression: an *immediate* pause (1 ms into the connection, mid-slow-start)
+/// with a ~2 s outage used to livelock. Tens of kilobytes dropped at the
+/// paused guest's vif left a large phantom flight; every RTO then reset cwnd,
+/// so `min(cwnd, wnd) - flight` stayed pinned at zero and the connection
+/// crawled at one MSS per backed-off timeout. The fix is classic BSD
+/// go-back-N on timeout (pull `snd_nxt` back to the retransmitted head)
+/// plus a separate `snd_max` high-water mark so the peer's cumulative ACK —
+/// which may exceed the pulled-back `snd_nxt` — is still honoured.
+#[test]
+fn early_pause_with_long_outage_does_not_livelock() {
+    let (pause_at_ms, down_ms, skew_us, seed) = (1u64, 1892u64, 345u64, 12074398752566233198u64);
+    let mut sim = world(LinkParams::gige_lan(), TcpConfig::default());
+    let (sa, sb) = establish(&mut sim);
+    let data = rand_payload(300_000, seed ^ 0xBEEF);
+
+    sim.schedule_at(
+        SimTime::from_secs_f64(pause_at_ms as f64 / 1e3),
+        move |sim| {
+            pause(sim, A);
+            let snap_a = snapshot(sim, A);
+            sim.schedule_in(SimDuration::from_nanos(skew_us * 1000), move |sim| {
+                pause(sim, B);
+                let snap_b = snapshot(sim, B);
+                sim.schedule_in(SimDuration::from_millis(down_ms), move |sim| {
+                    restore(sim, A, snap_a);
+                    sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+                        restore(sim, B, snap_b);
+                    });
+                });
+            });
+        },
+    );
+
+    let mut sent = 0;
+    let mut received: Vec<u8> = Vec::new();
+    // Without go-back-N this case needed >600 simulated seconds; with it the
+    // stream finishes within a few RTOs of the restore.
+    let horizon = secs(30.0);
+    loop {
+        if sent < data.len() && !sim.world.hosts[A].paused {
+            let now = local_now(&sim);
+            let n = sim.world.hosts[A].tcp.send(now, sa, &data[sent..]);
+            sent += n;
+            if n > 0 {
+                drain(&mut sim, A);
+            }
+        }
+        if !sim.world.hosts[B].paused {
+            let avail = sim.world.hosts[B].tcp.readable_bytes(sb);
+            if avail > 0 {
+                let now = local_now(&sim);
+                received.extend(sim.world.hosts[B].tcp.recv(now, sb, avail));
+                drain(&mut sim, B);
+            }
+        }
+        if received.len() >= data.len() {
+            break;
+        }
+        assert!(
+            sim.now() <= horizon,
+            "livelocked at {} bytes",
+            received.len()
+        );
+        assert!(sim.step(), "queue drained at {} bytes", received.len());
+    }
+    assert_eq!(received, data, "stream corrupted across early checkpoint");
 }

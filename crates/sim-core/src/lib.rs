@@ -21,6 +21,7 @@
 //! Everything above this crate (network, hypervisor, MPI, DVC itself) is
 //! expressed as state inside `W` plus events scheduled on the same queue.
 
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -29,6 +30,7 @@ pub mod time;
 pub mod trace;
 pub mod trial;
 
+pub use faults::{FaultPlan, FaultWindow};
 pub use rng::RngStreams;
 pub use sim::{EventHandle, Sim};
 pub use time::{SimDuration, SimTime};

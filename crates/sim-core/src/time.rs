@@ -38,6 +38,16 @@ impl SimTime {
     }
 
     #[inline]
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * NANOS_PER_MILLI)
+    }
+
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }

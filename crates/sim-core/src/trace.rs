@@ -7,7 +7,7 @@
 //! `"tcp"` events.
 
 use crate::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One trace record.
 #[derive(Clone, Debug)]
@@ -25,8 +25,28 @@ pub struct Trace {
     capacity: usize,
     records: VecDeque<TraceRecord>,
     dropped: u64,
+    /// Total records emitted per category — counted even after the record
+    /// itself is evicted from the ring, so campaign summaries stay accurate.
+    emitted: BTreeMap<&'static str, u64>,
     /// Also print records to stderr as they are emitted (debugging aid).
     pub echo: bool,
+}
+
+/// A snapshot of one trace's accounting, cheap to ship between threads.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    /// Records currently retained in the ring.
+    pub retained: usize,
+    /// Records evicted due to the capacity bound.
+    pub dropped: u64,
+    /// Total emits per category (evicted records included).
+    pub by_category: BTreeMap<&'static str, u64>,
+}
+
+impl TraceStats {
+    pub fn total_emitted(&self) -> u64 {
+        self.by_category.values().sum()
+    }
 }
 
 impl Trace {
@@ -38,6 +58,7 @@ impl Trace {
             capacity: 0,
             records: VecDeque::new(),
             dropped: 0,
+            emitted: BTreeMap::new(),
             echo: false,
         }
     }
@@ -50,6 +71,7 @@ impl Trace {
             capacity,
             records: VecDeque::with_capacity(capacity.min(4096)),
             dropped: 0,
+            emitted: BTreeMap::new(),
             echo: false,
         }
     }
@@ -81,6 +103,7 @@ impl Trace {
         if self.echo {
             eprintln!("[{time}] {category}: {msg}");
         }
+        *self.emitted.entry(category).or_insert(0) += 1;
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
@@ -112,6 +135,20 @@ impl Trace {
     /// Records evicted due to the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total emits in one category, evicted records included.
+    pub fn emitted_in(&self, cat: &'static str) -> u64 {
+        self.emitted.get(cat).copied().unwrap_or(0)
+    }
+
+    /// Snapshot the accounting for campaign aggregation.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            retained: self.records.len(),
+            dropped: self.dropped,
+            by_category: self.emitted.clone(),
+        }
     }
 }
 
@@ -152,6 +189,12 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
         assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+        // Per-category accounting survives eviction.
+        assert_eq!(t.emitted_in("c"), 5);
+        let st = t.stats();
+        assert_eq!(st.retained, 3);
+        assert_eq!(st.dropped, 2);
+        assert_eq!(st.total_emitted(), 5);
     }
 
     #[test]

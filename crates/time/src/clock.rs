@@ -268,7 +268,7 @@ mod tests {
     fn small_correction_slews_monotonically() {
         let mut c = HwClock::perfect();
         c.correct(at(0.0), 1.0e6); // +1 ms, below the step threshold
-        // Immediately after, only a sliver is applied.
+                                   // Immediately after, only a sliver is applied.
         let e0 = c.error_ns(at(0.001));
         assert!(e0 < 1.0e6 * 0.01, "applied too fast: {e0}");
         // After 10 s at 500 ppm ⇒ capacity 5 ms ≫ 1 ms: fully absorbed.

@@ -35,7 +35,5 @@ pub mod guest;
 pub mod migrate;
 pub mod vm;
 
-pub use guest::{
-    GuestCtx, GuestOs, GuestProc, KmsgEntry, ProcPoll, ProcState, VirtDisk, Watchdog,
-};
+pub use guest::{GuestCtx, GuestOs, GuestProc, KmsgEntry, ProcPoll, ProcState, VirtDisk, Watchdog};
 pub use vm::{OverheadProfile, Vm, VmId, VmImage, VmState};

@@ -83,7 +83,13 @@ pub struct Vm {
 }
 
 impl Vm {
-    pub fn new(id: VmId, mem_mb: u32, vcpus: u32, overhead: OverheadProfile, guest: GuestOs) -> Self {
+    pub fn new(
+        id: VmId,
+        mem_mb: u32,
+        vcpus: u32,
+        overhead: OverheadProfile,
+        guest: GuestOs,
+    ) -> Self {
         Vm {
             id,
             mem_mb,
@@ -126,14 +132,17 @@ impl Vm {
             matches!(self.state, VmState::Paused | VmState::Saving),
             "snapshot of a running domain would be inconsistent"
         );
-        VmImage {
+        let mut img = VmImage {
             vm: self.id,
             mem_mb: self.mem_mb,
             vcpus: self.vcpus,
             overhead: self.overhead,
             guest: self.guest.clone(),
             taken_at,
-        }
+            stored_checksum: 0,
+        };
+        img.stored_checksum = img.content_checksum();
+        img
     }
 
     /// Resume a paused domain in place (no state replacement).
@@ -145,6 +154,8 @@ impl Vm {
 
     /// Replace the guest with a saved image and resume (restore path). The
     /// domain may live on a different physical node than the image's origin.
+    /// Callers are expected to [`VmImage::verify`] first — restoring a
+    /// corrupt image is how silent storage rot becomes a crashed guest.
     pub fn restore_from(&mut self, image: &VmImage) {
         self.mem_mb = image.mem_mb;
         self.vcpus = image.vcpus;
@@ -161,6 +172,12 @@ impl Vm {
 }
 
 /// A saved domain image (a consistent snapshot of one VM).
+///
+/// Images carry an end-to-end checksum taken at snapshot time. The stored
+/// copy's checksum can later diverge (silent corruption injected on the
+/// storage write path); [`VmImage::verify`] compares the stored checksum
+/// against a recomputation over the logical content, which is exactly the
+/// check the hardened checkpoint pipeline runs on save *and* restore.
 #[derive(Clone)]
 pub struct VmImage {
     pub vm: VmId,
@@ -169,11 +186,43 @@ pub struct VmImage {
     pub overhead: OverheadProfile,
     pub guest: GuestOs,
     pub taken_at: SimTime,
+    /// Checksum recorded alongside the stored bytes. Equal to
+    /// [`VmImage::content_checksum`] when intact; anything else means rot.
+    pub stored_checksum: u64,
 }
 
 impl VmImage {
     pub fn size_bytes(&self) -> u64 {
         self.mem_mb as u64 * 1024 * 1024
+    }
+
+    /// Checksum over the image's logical content (FNV-1a over the identity
+    /// and guest-visible state — a stand-in for hashing the memory pages).
+    pub fn content_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.vm.0 as u64);
+        mix(self.mem_mb as u64);
+        mix(self.vcpus as u64);
+        mix(self.taken_at.nanos());
+        mix(self.guest.kmsg.len() as u64);
+        h
+    }
+
+    /// True when the stored copy still matches its content.
+    pub fn verify(&self) -> bool {
+        self.stored_checksum == self.content_checksum()
+    }
+
+    /// Flip the stored checksum — models a silent bit-rot event on the
+    /// storage path that only an end-to-end verify can catch.
+    pub fn corrupt_silently(&mut self) {
+        self.stored_checksum ^= 0xDEAD_BEEF_0BAD_F00D;
     }
 }
 
@@ -226,6 +275,22 @@ mod tests {
         assert!(v.is_running());
         assert_eq!(v.guest.kmsg.len(), 0, "rolled back");
         assert_eq!(v.pause_count, 2);
+    }
+
+    #[test]
+    fn checksum_catches_silent_corruption() {
+        let mut v = vm();
+        v.pause();
+        let mut img = v.snapshot(SimTime::ZERO);
+        assert!(img.verify(), "fresh snapshot must verify");
+        img.corrupt_silently();
+        assert!(!img.verify(), "rotted image must fail verify");
+        img.corrupt_silently();
+        assert!(img.verify(), "corruption model is an involution");
+        // Different content ⇒ different checksum.
+        v.guest.log_kmsg(0, "dirty");
+        let img2 = v.snapshot(SimTime::ZERO);
+        assert_ne!(img.content_checksum(), img2.content_checksum());
     }
 
     #[test]

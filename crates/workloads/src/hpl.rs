@@ -50,7 +50,7 @@ pub struct HplConfig {
 
 impl HplConfig {
     pub fn new(n: usize, nb: usize, seed: u64) -> Self {
-        assert!(n % nb == 0, "n must be a multiple of nb");
+        assert!(n.is_multiple_of(nb), "n must be a multiple of nb");
         HplConfig {
             n,
             nb,
@@ -169,7 +169,7 @@ fn step(data: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
     // Application-level checkpoint of the live state (trailing matrix +
     // factors this rank still needs), if configured.
     let every = data.u64("hpl.ckpt_every") as usize;
-    if every > 0 && k > 0 && k % every == 0 {
+    if every > 0 && k > 0 && k.is_multiple_of(every) {
         let ncols = n_local_cols(n, nb, size, rank);
         let bytes = (n * ncols * 8 + n * 8) as u64; // local panels + pivots
         ops.push(Op::DiskWrite { bytes });
@@ -201,7 +201,7 @@ fn factor_panel(data: &mut RankData, rank: usize, size: usize) {
     let mut piv_new = vec![0u64; nb];
     let ncols = a.len() / n;
 
-    for jj in 0..nb {
+    for (jj, piv_slot) in piv_new.iter_mut().enumerate() {
         let j = j0 + jj;
         let lc = local_col(n, nb, size, rank, j).expect("owner owns the panel");
         let col = lc * n;
@@ -215,7 +215,7 @@ fn factor_panel(data: &mut RankData, rank: usize, size: usize) {
                 p = i;
             }
         }
-        piv_new[jj] = p as u64;
+        *piv_slot = p as u64;
         // Swap rows j <-> p across ALL local columns.
         if p != j {
             for c in 0..ncols {
@@ -333,7 +333,11 @@ fn finale(_data: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
     if rank == 0 {
         for r in 1..size {
             ops.push(Op::recv(r, TAG_GATHER + r as u32, format!("A.from.{r}")));
-            ops.push(Op::recv(r, TAG_GATHER + 1000 + r as u32, format!("piv.from.{r}")));
+            ops.push(Op::recv(
+                r,
+                TAG_GATHER + 1000 + r as u32,
+                format!("piv.from.{r}"),
+            ));
         }
         ops.push(Op::Apply(verify));
     } else {
@@ -341,7 +345,13 @@ fn finale(_data: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
         ops.push(Op::send(0, TAG_GATHER + 1000 + rank as u32, "piv"));
     }
     // Residual broadcast doubles as the final synchronization.
-    ops.extend(collectives::bcast(0, rank, size, TAG_RESIDUAL, "hpl.residual"));
+    ops.extend(collectives::bcast(
+        0,
+        rank,
+        size,
+        TAG_RESIDUAL,
+        "hpl.residual",
+    ));
     ops.push(Op::Marker("hpl-end"));
     ops
 }

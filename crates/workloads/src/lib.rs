@@ -35,7 +35,8 @@ pub fn gen_a(seed: u64, i: usize, j: usize) -> f64 {
     // Hash (seed, i, j) into [-0.5, 0.5), plus diagonal dominance for a
     // stable LU without pathological pivot growth.
     let h = dvc_sim_core::rng::splitmix64(
-        seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
+        seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
     );
     let frac = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
     if i == j {

@@ -48,7 +48,10 @@ impl PtransConfig {
 
 /// Build the per-rank PTRANS program.
 pub fn program(cfg: PtransConfig, rank: usize, size: usize) -> (Vec<Op>, RankData) {
-    assert!(cfg.n % size == 0, "n must be divisible by the rank count");
+    assert!(
+        cfg.n.is_multiple_of(size),
+        "n must be divisible by the rank count"
+    );
     let m = cfg.n / size;
     let mut data = RankData::new();
     data.set("pt.n", Value::U64(cfg.n as u64));
@@ -193,10 +196,7 @@ mod tests {
                 if from == to {
                     continue;
                 }
-                let blk = datas[from]
-                    .get(&format!("pt.send.{to}"))
-                    .cloned()
-                    .unwrap();
+                let blk = datas[from].get(&format!("pt.send.{to}")).cloned().unwrap();
                 datas[to].set(format!("pt.recv.{from}"), blk);
             }
         }

@@ -70,14 +70,11 @@ fn step(data: &mut RankData, rank: usize, size: usize) -> Vec<Op> {
     let tag = TAG_RING + (iter % 512) as u32;
     let compute = data.u64("ring.compute_ns");
 
-    let mut ops = vec![
-        Op::Apply(stamp_out),
-        Op::ComputeNs(compute.max(1)),
-    ];
+    let mut ops = vec![Op::Apply(stamp_out), Op::ComputeNs(compute.max(1))];
     if size > 1 {
         // Even ranks send then receive; odd ranks receive then send — no
         // cyclic wait even with rendezvous-style blocking.
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             ops.push(Op::send(next, tag, "ring.out"));
             ops.push(Op::recv(prev, tag, "ring.in"));
         } else {

@@ -69,11 +69,7 @@ fn step(data: &mut RankData, _rank: usize, _size: usize) -> Vec<Op> {
     }
     data.set("st.rep", Value::U64(rep + 1));
     let pass_ns = data.u64("st.pass_ns");
-    vec![
-        Op::Apply(triad),
-        Op::ComputeNs(pass_ns),
-        Op::Gen(step),
-    ]
+    vec![Op::Apply(triad), Op::ComputeNs(pass_ns), Op::Gen(step)]
 }
 
 fn triad(data: &mut RankData, _rank: usize, _size: usize) {

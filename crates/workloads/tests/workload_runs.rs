@@ -51,7 +51,9 @@ fn hpl_app_level_checkpoints_write_to_disk() {
     let nodes = s.world.node_ids();
     let mut cfg = hpl::HplConfig::new(64, 8, 3);
     cfg.app_ckpt_every = Some(2);
-    let job = harness::launch(&mut s, &nodes, 4, 128, move |r, sz| hpl::program(cfg, r, sz));
+    let job = harness::launch(&mut s, &nodes, 4, 128, move |r, sz| {
+        hpl::program(cfg, r, sz)
+    });
     run_job(&mut s, &job, horizon()).expect("hpl with app ckpt failed");
     for r in 0..4 {
         let vm = s.world.vm(job.vms[r]).unwrap();
@@ -96,7 +98,9 @@ fn stream_runs_and_verifies() {
         reps: 10,
         ..Default::default()
     };
-    let job = harness::launch(&mut s, &nodes, 1, 128, move |r, sz| stream::program(cfg, r, sz));
+    let job = harness::launch(&mut s, &nodes, 1, 128, move |r, sz| {
+        stream::program(cfg, r, sz)
+    });
     run_job(&mut s, &job, horizon()).expect("stream failed");
     let d = &harness::rank(&s, &job, 0).data;
     assert_eq!(d.f64("st.worst_err"), 0.0);
@@ -111,7 +115,10 @@ fn stream_runs_and_verifies() {
         measured >= ideal,
         "measured {measured} must include the modelled passes {ideal}"
     );
-    assert!(measured < ideal * 1.3, "overhead too large: {measured} vs {ideal}");
+    assert!(
+        measured < ideal * 1.3,
+        "overhead too large: {measured} vs {ideal}"
+    );
 }
 
 #[test]
@@ -124,7 +131,9 @@ fn ring_completes_with_zero_errors() {
         iters: 30,
         compute_ns: 100_000,
     };
-    let job = harness::launch(&mut s, &nodes, ranks, 128, move |r, sz| ring::program(cfg, r, sz));
+    let job = harness::launch(&mut s, &nodes, ranks, 128, move |r, sz| {
+        ring::program(cfg, r, sz)
+    });
     run_job(&mut s, &job, horizon()).expect("ring failed");
     for r in 0..ranks {
         assert!(

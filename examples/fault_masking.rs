@@ -59,7 +59,8 @@ fn main() {
                         o.resume_skew
                     );
                     assert!(o.success);
-                });
+                })
+                .expect("restore should start");
             });
         },
     );

@@ -48,7 +48,11 @@ fn main() {
     let done = scenarios::run_until(&mut sim, SimTime::from_secs_f64(7200.0), |sim| {
         mpi::harness::all_done(sim, &job)
     });
-    assert!(done, "HPL stalled: {:?}", mpi::harness::first_failure(&sim, &job));
+    assert!(
+        done,
+        "HPL stalled: {:?}",
+        mpi::harness::first_failure(&sim, &job)
+    );
     dvc::reliability::stop(&mut sim, vc);
 
     // Residual check: the checkpoints were numerically invisible.

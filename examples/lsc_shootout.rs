@@ -43,8 +43,7 @@ fn trial(n: usize, method: LscMethod, seed: u64) -> (bool, bool, SimDuration) {
     // Run until the checkpoint outcome exists and any transport fallout
     // has had time to surface.
     scenarios::run_until(&mut sim, SimTime::from_secs_f64(400.0), |sim| {
-        sim.world.ext.get::<LscOutcome>().is_some()
-            && sim.now() > at + SimDuration::from_secs(120)
+        sim.world.ext.get::<LscOutcome>().is_some() && sim.now() > at + SimDuration::from_secs(120)
     });
     let out = sim.world.ext.get::<LscOutcome>().cloned();
     let app_ok = mpi::harness::first_failure(&sim, &job).is_none();

@@ -62,20 +62,15 @@ fn main() {
                 }
                 // --- restore the whole VC on the spare nodes --------------
                 let targets: Vec<NodeId> = (5..=8).map(NodeId).collect();
-                dvc::lsc::restore_vc(
-                    sim,
-                    set,
-                    targets,
-                    SimDuration::from_secs(5),
-                    |sim, out| {
-                        println!(
-                            "== restored onto nodes 5-8 at t={}: success={} resume_skew={}",
-                            sim.now(),
-                            out.success,
-                            out.resume_skew
-                        );
-                    },
-                );
+                dvc::lsc::restore_vc(sim, set, targets, SimDuration::from_secs(5), |sim, out| {
+                    println!(
+                        "== restored onto nodes 5-8 at t={}: success={} resume_skew={}",
+                        sim.now(),
+                        out.success,
+                        out.resume_skew
+                    );
+                })
+                .expect("restore should start");
             });
         });
     });

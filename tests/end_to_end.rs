@@ -41,7 +41,8 @@ fn checkpoint_migrate_survive_story() {
                 let targets: Vec<NodeId> = (5..=8).map(NodeId).collect();
                 dvc::lsc::restore_vc(sim, set, targets, SimDuration::from_secs(5), |_s, o| {
                     assert!(o.success);
-                });
+                })
+                .expect("restore should start");
             });
         });
     });
@@ -51,7 +52,9 @@ fn checkpoint_migrate_survive_story() {
     });
     assert!(done, "{:?}", mpi::harness::first_failure(&sim, &job));
     for r in 0..job.size {
-        assert!(workloads::ring::ring_ok(&mpi::harness::rank(&sim, &job, r).data));
+        assert!(workloads::ring::ring_ok(
+            &mpi::harness::rank(&sim, &job, r).data
+        ));
     }
     assert_eq!(
         dvc::vc::vc(&sim, vc).unwrap().hosts,
@@ -139,7 +142,8 @@ fn hpl_residual_survives_migration() {
             let targets: Vec<NodeId> = (5..=8).map(NodeId).collect();
             dvc::lsc::restore_vc(sim, set, targets, SimDuration::from_secs(5), |_s, o| {
                 assert!(o.success);
-            });
+            })
+            .expect("restore should start");
         });
     });
 

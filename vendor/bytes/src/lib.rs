@@ -1,0 +1,331 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of `bytes 1.x` this workspace uses: cheaply-clonable
+//! immutable `Bytes` (shared `Arc<[u8]>` plus a view window), a growable
+//! `BytesMut` builder, and the `Buf`/`BufMut` cursor traits for the little-
+//! endian accessors the wire formats need. Semantics match upstream for the
+//! covered surface (O(1) clone/slice, `Buf` getters consume from the front,
+//! getters panic on underflow).
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply clonable, sliceable, immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(slice),
+            start: 0,
+            end: slice.len(),
+        }
+    }
+
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(slice),
+            start: 0,
+            end: slice.len(),
+        }
+    }
+
+    /// O(1) sub-view; panics if the range is out of bounds (like upstream).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "Bytes::slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off the tail at `at`, leaving `self` as the head.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn consume(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "Bytes: advance past end of buffer");
+        let start = self.start;
+        self.start += n;
+        &self.data[start..start + n]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "…(+{})", self.len() - 32)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer that freezes into `Bytes`.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.buf.extend_from_slice(slice);
+    }
+
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            buf: self.buf.split_off(at),
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read cursor: getters consume from the front, panicking on underflow.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn take_front(&mut self, n: usize) -> &[u8];
+
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_front(4).try_into().unwrap())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        self.consume(n)
+    }
+}
+
+/// Write cursor: little-endian appenders.
+pub trait BufMut {
+    fn put_slice(&mut self, slice: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.buf.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_accessors() {
+        let mut b = BytesMut::with_capacity(29);
+        b.put_u8(7);
+        b.put_u32_le(0xAABBCCDD);
+        b.put_u64_le(42);
+        b.put_i64_le(-9);
+        b.put_f64_le(2.5);
+        let mut f = b.freeze();
+        assert_eq!(f.len(), 29);
+        assert_eq!(f.get_u8(), 7);
+        assert_eq!(f.get_u32_le(), 0xAABBCCDD);
+        assert_eq!(f.get_u64_le(), 42);
+        assert_eq!(f.get_i64_le(), -9);
+        assert_eq!(f.get_f64_le(), 2.5);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn slices_are_views() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(&b.slice(2..5)[..], &[2, 3, 4]);
+        assert_eq!(&b.slice(..3)[..], &[0, 1, 2]);
+        assert_eq!(&b.slice(6..)[..], &[6, 7]);
+        let s = b.slice(2..6).slice(1..3);
+        assert_eq!(&s[..], &[3, 4]);
+        assert_eq!(s.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn getters_consume_and_len_tracks() {
+        let mut b = Bytes::from(vec![1u8, 0, 0, 0, 0, 0, 0, 0, 0, 9]);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.get_u64_le(), 0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get_u8(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        let _ = b.get_u64_le();
+    }
+
+    #[test]
+    fn split_off_splits_view() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], &[0, 1]);
+        assert_eq!(&tail[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, Bytes::new());
+        assert!(format!("{a:?}").contains("x01"));
+    }
+}
