@@ -32,7 +32,7 @@ fn bench_snapshot(c: &mut Criterion) {
     for n in [128usize, 512, 1024] {
         let bytes = (n * n * 8) as u64;
         g.throughput(Throughput::Bytes(bytes));
-        let vm = guest_with_matrix(n);
+        let mut vm = guest_with_matrix(n);
         g.bench_function(format!("guest_clone_n{n}"), |b| {
             b.iter(|| std::hint::black_box(vm.snapshot(SimTime::ZERO)))
         });
@@ -42,7 +42,7 @@ fn bench_snapshot(c: &mut Criterion) {
 
 fn bench_restore(c: &mut Criterion) {
     let mut g = c.benchmark_group("snapshot/restore_from");
-    let vm = guest_with_matrix(512);
+    let mut vm = guest_with_matrix(512);
     let image = vm.snapshot(SimTime::ZERO);
     g.bench_function("replace_guest_n512", |b| {
         b.iter_batched(

@@ -1,0 +1,397 @@
+//! `perf` — the fixed perf basket behind `BENCH_PERF.json`.
+//!
+//! Runs four scenarios that together cover every per-trial hot path
+//! (TCP segmentation/ACK clocking, loss recovery, the 26-node LSC
+//! checkpoint cycle, and an E2-style mini-campaign) plus a snapshot
+//! microbench, and reports events/sec, wall ms, peak event-queue depth
+//! and the no-op (cancelled/stale) event ratio for each.
+//!
+//! ```text
+//! cargo run --release -p dvc-bench --bin perf            # full basket, JSON to stdout
+//! cargo run --release -p dvc-bench --bin perf -- --out BENCH_PERF.json
+//! cargo run --release -p dvc-bench --bin perf -- --smoke # small sizes for CI
+//! cargo run --release -p dvc-bench --bin perf -- --smoke --check BENCH_PERF.json
+//! ```
+//!
+//! `--check` reruns the basket and fails (exit 1) if any scenario's
+//! events/sec regressed by more than 30% against the `smoke_baseline`
+//! section of the given committed JSON.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use dvc_bench::scen::{self, TrialWorld};
+use dvc_core::lsc::LscMethod;
+use dvc_net::fabric::LinkParams;
+use dvc_net::tcp::{SockEvent, SockId, TcpConfig};
+use dvc_net::testkit::{drain, local_now, run_until, TestWorld};
+use dvc_sim_core::trial::run_trials;
+use dvc_sim_core::{Sim, SimDuration, SimTime};
+
+/// One scenario's measurements.
+struct Row {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    peak_queue_depth: u64,
+    noop_ratio: f64,
+}
+
+/// `events` counts heap pops (dispatched handlers + cancelled-timer
+/// no-ops): the pre-cancellation engine *dispatched* its stale timers as
+/// events and counted them in `events_executed`, so pops are the
+/// accounting both engine generations share.
+fn row<W>(name: &'static str, wall_ms: f64, sims: &[&Sim<W>]) -> Row {
+    let stats =
+        sims.iter()
+            .map(|s| s.stats())
+            .fold(dvc_sim_core::SimStats::default(), |mut acc, s| {
+                acc.executed += s.executed;
+                acc.noop_pops += s.noop_pops;
+                acc.peak_queue_depth = acc.peak_queue_depth.max(s.peak_queue_depth);
+                acc
+            });
+    let events = stats.executed + stats.noop_pops;
+    Row {
+        name,
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
+        peak_queue_depth: stats.peak_queue_depth,
+        noop_ratio: stats.noop_ratio(),
+    }
+}
+
+fn establish(sim: &mut Sim<TestWorld>) -> (SockId, SockId) {
+    let listener = sim.world.hosts[1].tcp.listen(7000).unwrap();
+    let now = local_now(sim);
+    let addr = sim.world.hosts[1].addr;
+    let sa = sim.world.hosts[0].tcp.connect(now, addr, 7000);
+    drain(sim, 0);
+    run_until(sim, SimTime::from_secs_f64(10.0), |sim| {
+        sim.world.hosts[1]
+            .events
+            .iter()
+            .any(|&(s, e)| s == listener && matches!(e, SockEvent::Incoming(_)))
+    });
+    let sb = sim.world.hosts[1]
+        .events
+        .iter()
+        .find_map(|&(s, e)| match e {
+            SockEvent::Incoming(n) if s == listener => Some(n),
+            _ => None,
+        })
+        .unwrap();
+    (sa, sb)
+}
+
+/// Drive `total` bytes A→B through the zero-copy API (`send_bytes` in,
+/// `recv_bytes` out, chunk at a time), return the finished sim. The
+/// pre-PR baseline binary runs the same scenario through its era's API
+/// (`send(&[u8])` / `recv() -> Vec`), so the pair measures the data
+/// plane as an application actually drives it, before vs. after.
+fn tcp_transfer(link: LinkParams, cfg: TcpConfig, loss: f64, total: usize) -> Sim<TestWorld> {
+    let mut sim = Sim::new(TestWorld::new(2, link.with_loss(loss), cfg), 9);
+    let (sa, sb) = establish(&mut sim);
+    let data = Bytes::from(vec![0xA5u8; 64 * 1024]);
+    let mss = cfg.mss;
+    let mut sent = 0;
+    let mut received = 0;
+    while received < total {
+        if sent < total {
+            let now = local_now(&sim);
+            let n = sim.world.hosts[0].tcp.send_bytes(now, sa, data.clone());
+            sent += n;
+            if n > 0 {
+                drain(&mut sim, 0);
+            }
+        }
+        if sim.world.hosts[1].tcp.readable_bytes(sb) > 0 {
+            let now = local_now(&sim);
+            received += sim.world.hosts[1].tcp.recv_bytes(now, sb, mss).len();
+            drain(&mut sim, 1);
+        }
+        if received < total {
+            assert!(sim.step(), "stalled at {received}/{total}");
+        }
+    }
+    sim
+}
+
+fn bench_tcp(name: &'static str, link: LinkParams, cfg: TcpConfig, loss: f64, total: usize) -> Row {
+    let t = Instant::now();
+    let sim = tcp_transfer(link, cfg, loss, total);
+    let wall = t.elapsed().as_secs_f64() * 1e3;
+    row(name, wall, &[&sim])
+}
+
+/// One full LSC checkpoint cycle on an `n`-node ring under load.
+fn bench_lsc(name: &'static str, nodes: usize, mem_mb: u32) -> Row {
+    let tw = TrialWorld {
+        nodes,
+        spares: 1,
+        mem_mb,
+        seed: 7,
+        ..TrialWorld::default()
+    };
+    let t = Instant::now();
+    let (mut sim, vc_id) = tw.build();
+    let _job = scen::ring_load(&mut sim, vc_id, u64::MAX / 2);
+    scen::settle(&mut sim, SimDuration::from_secs(30));
+    let outs = scen::run_cycles(
+        &mut sim,
+        vc_id,
+        LscMethod::Naive,
+        1,
+        SimDuration::from_secs(1),
+    );
+    scen::settle(&mut sim, SimDuration::from_secs(20));
+    let wall = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        outs.first().is_some_and(|o| o.success),
+        "{name}: cycle failed"
+    );
+    row(name, wall, &[&sim])
+}
+
+/// E2-style mini-campaign: independent single-cycle trials across threads.
+fn bench_campaign(name: &'static str, trials: usize, threads: usize) -> Row {
+    let t = Instant::now();
+    let results = run_trials(trials, 0xD5C0_0001, threads, |_i, seed| {
+        let tw = TrialWorld {
+            nodes: 8,
+            seed,
+            ..TrialWorld::default()
+        };
+        let (mut sim, vc_id) = tw.build();
+        let _job = scen::ring_load(&mut sim, vc_id, u64::MAX / 2);
+        scen::settle(&mut sim, SimDuration::from_secs(30));
+        let outs = scen::run_cycles(
+            &mut sim,
+            vc_id,
+            LscMethod::Naive,
+            1,
+            SimDuration::from_secs(1),
+        );
+        scen::settle(&mut sim, SimDuration::from_secs(20));
+        let stats = sim.stats();
+        (
+            outs.first().is_some_and(|o| o.success),
+            sim.events_executed(),
+            stats.noop_pops,
+            stats.peak_queue_depth,
+        )
+    });
+    let wall = t.elapsed().as_secs_f64() * 1e3;
+    let executed: u64 = results.iter().map(|r| r.1).sum();
+    let noops: u64 = results.iter().map(|r| r.2).sum();
+    let peak: u64 = results.iter().map(|r| r.3).max().unwrap_or(0);
+    let events = executed + noops;
+    Row {
+        name,
+        wall_ms: wall,
+        events,
+        events_per_sec: events as f64 / (wall / 1e3).max(1e-9),
+        peak_queue_depth: peak,
+        noop_ratio: noops as f64 / events.max(1) as f64,
+    }
+}
+
+/// Snapshot microbench: a mostly-clean `mem_mb` guest (all pages resident,
+/// a small working set dirty since the last snapshot). Reports the wall
+/// cost of a COW snapshot vs. the naive full deep copy it replaced.
+fn bench_snapshot(mem_mb: u32) -> (f64, f64, u64, u64) {
+    use dvc_vmm::mem::GuestMem;
+    let mut mem = GuestMem::new(mem_mb);
+    // Materialize every page, then settle with one snapshot so only the
+    // small working set below is dirty relative to the last image.
+    for p in 0..mem.total_pages() {
+        mem.write_u64(p * GuestMem::PAGE_SIZE, p as u64);
+    }
+    let _settled = mem.snapshot();
+    for i in 0..32u64 {
+        mem.write_u64(
+            (i as usize % mem.total_pages()) * GuestMem::PAGE_SIZE + 64,
+            i,
+        );
+    }
+    let dirty = mem.dirty_pages() as u64;
+    let total = mem.total_pages() as u64;
+
+    let iters = 16;
+    let t = Instant::now();
+    let mut keep = Vec::new();
+    for _ in 0..iters {
+        keep.push(mem.deep_copy());
+    }
+    let deep_ms = t.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    drop(keep);
+
+    let t = Instant::now();
+    let mut keep = Vec::new();
+    for _ in 0..iters {
+        keep.push(mem.snapshot());
+    }
+    let cow_ms = t.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    drop(keep);
+    (deep_ms, cow_ms, dirty, total)
+}
+
+fn emit_rows(out: &mut String, rows: &[Row], indent: &str) {
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{indent}\"{}\": {{ \"wall_ms\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"peak_queue_depth\": {}, \"noop_ratio\": {:.4} }}{comma}",
+            r.name, r.wall_ms, r.events, r.events_per_sec, r.peak_queue_depth, r.noop_ratio
+        );
+    }
+}
+
+fn run_basket(smoke: bool) -> Vec<Row> {
+    let (bulk, lossy, lsc_nodes, lsc_mem, trials) = if smoke {
+        (4 << 20, 1 << 20, 8, 64, 2)
+    } else {
+        (32 << 20, 4 << 20, 26, 512, 8)
+    };
+    let threads = if smoke {
+        2
+    } else {
+        dvc_sim_core::trial::default_threads()
+    };
+    // Bulk runs over the campus-WAN profile (1 ms latency, ~60 MB/s) with
+    // jumbo frames and 1 MiB buffers: the bandwidth-delay product fills
+    // the window and each event moves ~9 KB, so wall clock is dominated by
+    // how the buffers move bytes — the regime the zero-copy work targets
+    // (E11 trunk spanning). A 30 µs LAN at 1448-byte MSS keeps in-flight
+    // tiny and measures event dispatch instead of the data plane.
+    let bulk_cfg = TcpConfig {
+        mss: 8960,
+        send_buf: 1 << 20,
+        recv_buf: 1 << 20,
+        ..TcpConfig::default()
+    };
+    eprintln!("perf: bulk tcp ({} MiB, campus wan, jumbo)...", bulk >> 20);
+    let r1 = bench_tcp("bulk_tcp", LinkParams::campus_wan(), bulk_cfg, 0.0, bulk);
+    eprintln!("perf: lossy tcp ({} MiB @ 1%, gige lan)...", lossy >> 20);
+    let r2 = bench_tcp(
+        "lossy_tcp",
+        LinkParams::gige_lan(),
+        TcpConfig::default(),
+        0.01,
+        lossy,
+    );
+    eprintln!("perf: lsc cycle ({lsc_nodes} nodes, {lsc_mem} MB)...");
+    let r3 = bench_lsc("lsc_cycle", lsc_nodes, lsc_mem);
+    eprintln!("perf: mini campaign ({trials} trials, {threads} threads)...");
+    let r4 = bench_campaign("mini_campaign", trials, threads);
+    vec![r1, r2, r3, r4]
+}
+
+/// Extract `"<scenario>": {... "events_per_sec": N ...}` pairs from the
+/// `"<section>"` object of a committed BENCH_PERF.json (no JSON dep; the
+/// file is machine-written with one scenario per line).
+fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(start) = text.find(&format!("\"{section}\"")) else {
+        return out;
+    };
+    let mut depth = 0;
+    for line in text[start..].lines() {
+        depth += line.matches('{').count() as i64 - line.matches('}').count() as i64;
+        if let Some((name, rest)) = line
+            .trim()
+            .strip_prefix('"')
+            .and_then(|l| l.split_once('"'))
+        {
+            if let Some(eps) = rest
+                .split("\"events_per_sec\":")
+                .nth(1)
+                .and_then(|s| s.split([',', '}']).next())
+                .and_then(|s| s.trim().parse::<f64>().ok())
+            {
+                out.push((name.to_string(), eps));
+            }
+        }
+        if depth <= 0 && out.len() > 1 {
+            break;
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args[i + 1].clone());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone());
+
+    let rows = run_basket(smoke);
+    let (deep_ms, cow_ms, dirty, total) = bench_snapshot(if smoke { 64 } else { 512 });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str("  \"scenarios\": {\n");
+    emit_rows(&mut json, &rows, "    ");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{ \"mem_mb\": {}, \"resident_pages\": {total}, \"dirty_pages\": {dirty}, \
+         \"deep_copy_ms\": {deep_ms:.3}, \"cow_snapshot_ms\": {cow_ms:.3}, \"speedup\": {:.1} }}",
+        if smoke { 64 } else { 512 },
+        deep_ms / cow_ms.max(1e-9)
+    );
+    json.push_str("}\n");
+
+    println!("{json}");
+    if let Some(p) = out_path {
+        std::fs::write(&p, &json).expect("write --out file");
+        eprintln!("perf: wrote {p}");
+    }
+
+    if let Some(path) = check {
+        let committed = std::fs::read_to_string(&path).expect("read --check baseline");
+        let section = if smoke { "smoke_baseline" } else { "after" };
+        let baseline = parse_baseline(&committed, section);
+        assert!(
+            !baseline.is_empty(),
+            "no \"{section}\" section with events_per_sec found in {path}"
+        );
+        let mut failed = false;
+        for (name, base_eps) in &baseline {
+            let Some(r) = rows.iter().find(|r| r.name == name) else {
+                continue;
+            };
+            let floor = base_eps * 0.70;
+            let verdict = if r.events_per_sec < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "perf check: {name}: {:.0} ev/s vs baseline {base_eps:.0} (floor {floor:.0}) {verdict}",
+                r.events_per_sec
+            );
+        }
+        if failed {
+            eprintln!("perf check: FAILED (>30% events/sec regression)");
+            std::process::exit(1);
+        }
+        eprintln!("perf check: passed");
+    }
+}

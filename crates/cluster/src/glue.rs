@@ -25,18 +25,19 @@ use dvc_net::fabric;
 use dvc_net::packet::{Packet, L4};
 use dvc_net::tcp::LocalNs;
 use dvc_net::NicId;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{EventHandle, Sim, SimDuration, SimTime};
 use dvc_vmm::guest::{GuestOs, GuestProc, ProcPoll, ProcState};
 use dvc_vmm::{Vm, VmId, VmImage, VmState};
 use std::collections::HashMap;
 
-/// Per-(vm, proc) poll-event generations (collapses duplicate wakeups).
+/// The armed poll event per (vm, proc). Re-scheduling cancels the previous
+/// event instead of leaving it in the heap to fire as a stale no-op.
 #[derive(Default)]
-struct PollGens(HashMap<(VmId, usize), u64>);
+struct PollArms(HashMap<(VmId, usize), EventHandle>);
 
-/// Per-vm TCP timer-interrupt generations.
+/// The armed TCP timer interrupt per vm (same cancel-on-re-arm contract).
 #[derive(Default)]
-struct TimerGens(HashMap<VmId, u64>);
+struct TimerArms(HashMap<VmId, EventHandle>);
 
 /// Node-local wall-clock "now" for a node.
 pub fn local_now(sim: &Sim<ClusterWorld>, node: NodeId) -> LocalNs {
@@ -397,14 +398,12 @@ pub fn drain_vm(sim: &mut Sim<ClusterWorld>, vm: VmId) {
     }
 }
 
-/// Keep exactly one generation-guarded TCP timer interrupt armed per guest.
+/// Keep exactly one TCP timer interrupt armed per guest: re-arming cancels
+/// the previously armed event before scheduling the new deadline.
 pub fn rearm_guest_timer(sim: &mut Sim<ClusterWorld>, vm: VmId) {
-    let gen = {
-        let gens = sim.world.ext.get_or_default::<TimerGens>();
-        let e = gens.0.entry(vm).or_insert(0);
-        *e += 1;
-        *e
-    };
+    if let Some(h) = sim.world.ext.get_or_default::<TimerArms>().0.remove(&vm) {
+        sim.cancel(h);
+    }
     let Some(host) = sim.world.vm_host.get(&vm).copied() else {
         return;
     };
@@ -419,16 +418,10 @@ pub fn rearm_guest_timer(sim: &mut Sim<ClusterWorld>, vm: VmId) {
         (d, v.epoch)
     };
     let at = local_deadline_to_true(sim, host, deadline);
-    sim.schedule_at(at, move |sim| {
-        let ok = sim
-            .world
-            .ext
-            .get::<TimerGens>()
-            .and_then(|g| g.0.get(&vm))
-            .is_some_and(|&g| g == gen);
-        if !ok {
-            return;
-        }
+    let h = sim.schedule_at(at, move |sim| {
+        // This is the armed interrupt: clear the slot so a later re-arm
+        // doesn't cancel an already-fired handle.
+        sim.world.ext.get_or_default::<TimerArms>().0.remove(&vm);
         let Some(local) = vm_local_now(sim, vm) else {
             return;
         };
@@ -441,41 +434,44 @@ pub fn rearm_guest_timer(sim: &mut Sim<ClusterWorld>, vm: VmId) {
         v.guest.tcp.on_timer(local);
         drain_vm(sim, vm);
     });
+    sim.world.ext.get_or_default::<TimerArms>().0.insert(vm, h);
 }
 
 // ---------------------------------------------------------------------
 // Process scheduling
 // ---------------------------------------------------------------------
 
-fn bump_poll_gen(sim: &mut Sim<ClusterWorld>, vm: VmId, idx: usize) -> u64 {
-    let gens = sim.world.ext.get_or_default::<PollGens>();
-    let e = gens.0.entry((vm, idx)).or_insert(0);
-    *e += 1;
-    *e
-}
-
-/// Schedule a poll of process `idx` at `at` (collapsing older schedules).
+/// Schedule a poll of process `idx` at `at` (cancelling any older schedule).
 pub fn schedule_poll_at(sim: &mut Sim<ClusterWorld>, vm: VmId, idx: usize, at: SimTime) {
-    let gen = bump_poll_gen(sim, vm, idx);
+    if let Some(h) = sim
+        .world
+        .ext
+        .get_or_default::<PollArms>()
+        .0
+        .remove(&(vm, idx))
+    {
+        sim.cancel(h);
+    }
     let Some(epoch) = sim.world.vm(vm).map(|v| v.epoch) else {
         return;
     };
-    sim.schedule_at(at, move |sim| {
-        let ok = sim
-            .world
+    let h = sim.schedule_at(at, move |sim| {
+        sim.world
             .ext
-            .get::<PollGens>()
-            .and_then(|g| g.0.get(&(vm, idx)))
-            .is_some_and(|&g| g == gen);
-        if !ok {
-            return;
-        }
+            .get_or_default::<PollArms>()
+            .0
+            .remove(&(vm, idx));
         let Some(v) = sim.world.vm(vm) else { return };
         if !v.is_running() || v.epoch != epoch {
             return;
         }
         poll_proc(sim, vm, idx);
     });
+    sim.world
+        .ext
+        .get_or_default::<PollArms>()
+        .0
+        .insert((vm, idx), h);
 }
 
 /// Poll one guest process and act on the result.

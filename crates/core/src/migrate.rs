@@ -214,7 +214,7 @@ fn cutover_one(
     }
     glue::pause_vm(sim, vm);
     let now = sim.now();
-    let image = sim.world.vm(vm).unwrap().snapshot(now);
+    let image = sim.world.vm_mut(vm).unwrap().snapshot(now);
     {
         let lr = sim.world.ext.get_or_default::<LiveRuns>();
         let Some(r) = lr.runs.get_mut(&run_id) else {

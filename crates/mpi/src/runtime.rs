@@ -11,9 +11,9 @@
 
 use crate::data::{RankData, Value};
 use crate::ops::{push_front, Op};
-use bytes::{BufMut, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use dvc_net::tcp::{LocalNs, SockId, TcpState};
-use dvc_net::Addr;
+use dvc_net::{Addr, ByteQueue};
 use dvc_sim_core::SimDuration;
 use dvc_vmm::guest::{GuestCtx, GuestProc, ProcPoll};
 use std::collections::{HashMap, VecDeque};
@@ -57,9 +57,10 @@ enum Phase {
 #[derive(Clone, Debug, Default)]
 struct PeerConn {
     sock: Option<SockId>,
-    /// Framed bytes the stack has not yet accepted.
-    tx: VecDeque<u8>,
-    /// Reassembly buffer.
+    /// Framed chunks the stack has not yet accepted. Each frame is built
+    /// once and handed to the stack without further copies.
+    tx: ByteQueue,
+    /// Reassembly buffer (drained into by `TcpStack::recv_into`).
     rx: Vec<u8>,
 }
 
@@ -149,13 +150,13 @@ impl MpiRuntime {
         self.script.len()
     }
 
-    fn frame(&self, tag: u32, payload: &[u8]) -> Vec<u8> {
+    fn frame(&self, tag: u32, payload: &[u8]) -> Bytes {
         let mut b = BytesMut::with_capacity(HDR + payload.len());
         b.put_u32_le(self.rank as u32);
         b.put_u32_le(tag);
         b.put_u32_le(payload.len() as u32);
         b.put_slice(payload);
-        b.to_vec()
+        b.freeze()
     }
 
     /// Queue a framed message toward `to` (or loop it back locally).
@@ -169,7 +170,7 @@ impl MpiRuntime {
             return;
         }
         let framed = self.frame(tag, &payload);
-        self.peers.entry(to).or_default().tx.extend(framed);
+        self.peers.entry(to).or_default().tx.push_bytes(framed);
     }
 
     /// Parse complete frames out of a peer's reassembly buffer.
@@ -220,7 +221,7 @@ impl MpiRuntime {
                 let peer = self.peers.get_mut(&r).unwrap();
                 peer.sock = Some(sock);
                 // Say hello as the first frame on the stream.
-                peer.tx.extend(hello);
+                peer.tx.push_bytes(hello);
             }
         }
 
@@ -234,14 +235,8 @@ impl MpiRuntime {
         // Identify pending accepts by their hello.
         let mut identified = Vec::new();
         for i in 0..self.pending_accepts.len() {
-            let sock = self.pending_accepts[i].0;
-            loop {
-                let chunk = ctx.tcp.recv(ctx.now, sock, 1 << 16);
-                if chunk.is_empty() {
-                    break;
-                }
-                self.pending_accepts[i].1.extend(chunk);
-            }
+            let (sock, ref mut buf) = self.pending_accepts[i];
+            ctx.tcp.recv_into(ctx.now, sock, buf, usize::MAX);
             let buf = &self.pending_accepts[i].1;
             if buf.len() >= HDR {
                 let src = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
@@ -274,27 +269,30 @@ impl MpiRuntime {
                     self.rank
                 ));
             }
-            loop {
-                let chunk = ctx.tcp.recv(ctx.now, sock, 1 << 16);
-                if chunk.is_empty() {
-                    break;
-                }
-                self.peers.get_mut(&r).unwrap().rx.extend(chunk);
+            {
+                let peer = self.peers.get_mut(&r).unwrap();
+                ctx.tcp.recv_into(ctx.now, sock, &mut peer.rx, usize::MAX);
             }
             self.parse_frames(r);
-            // Flush queued tx bytes (only possible once established).
+            // Flush queued tx chunks (only possible once established). The
+            // chunks pass to the stack's send queue without being copied.
             if matches!(
                 ctx.tcp.state(sock),
                 Some(TcpState::Established) | Some(TcpState::CloseWait)
             ) {
                 let peer = self.peers.get_mut(&r).unwrap();
                 while !peer.tx.is_empty() {
-                    let contiguous = peer.tx.make_contiguous();
-                    let n = ctx.tcp.send(ctx.now, sock, contiguous);
+                    let cap = ctx.tcp.send_capacity(sock);
+                    if cap == 0 {
+                        break;
+                    }
+                    let chunk = peer.tx.pop_bytes(cap);
+                    let sent = chunk.len();
+                    let n = ctx.tcp.send_bytes(ctx.now, sock, chunk);
+                    debug_assert_eq!(n, sent, "capacity-bounded send must be accepted");
                     if n == 0 {
                         break;
                     }
-                    peer.tx.drain(..n);
                 }
             }
         }

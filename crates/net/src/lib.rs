@@ -25,6 +25,7 @@
 //!   reused by downstream crates' tests.
 
 pub mod addr;
+pub mod bytequeue;
 pub mod fabric;
 pub mod packet;
 pub mod tcp;
@@ -32,6 +33,7 @@ pub mod testkit;
 pub mod udp;
 
 pub use addr::{Addr, NicId, PhysAddr, SockAddr, VirtAddr};
+pub use bytequeue::ByteQueue;
 pub use fabric::{Fabric, LinkParams, NetWorld, SwitchId};
 pub use packet::{Packet, TcpSegment, UdpDatagram, L4};
 pub use tcp::{SockEvent, SockId, StackOutput, TcpConfig, TcpStack};

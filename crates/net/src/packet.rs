@@ -1,8 +1,12 @@
 //! Wire representation of packets.
 //!
-//! Payloads are [`bytes::Bytes`], so segmenting an MPI message into MSS-sized
-//! TCP segments is zero-copy slicing. Wire sizes include Ethernet + IP + L4
-//! header overheads so bandwidth/serialization models see realistic framing.
+//! Payloads are [`bytes::Bytes`]: cheaply cloneable, sliceable views into
+//! shared buffers. The TCP stack stores queued application bytes as a chain
+//! of such chunks ([`crate::bytequeue::ByteQueue`]), so segmenting a send
+//! into MSS-sized segments — and retransmitting them later — really is
+//! zero-copy slicing all the way from [`crate::tcp::TcpStack::send_bytes`]
+//! to the emitted segment. Wire sizes include Ethernet + IP + L4 header
+//! overheads so bandwidth/serialization models see realistic framing.
 
 use crate::addr::Addr;
 use bytes::Bytes;

@@ -29,6 +29,7 @@
 //! scaling (windows are plain u32 byte counts), SACK, simultaneous open.
 
 use crate::addr::Addr;
+use crate::bytequeue::ByteQueue;
 use crate::packet::{Packet, TcpFlags, TcpSegment, L4};
 use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -207,8 +208,10 @@ struct Socket {
     snd_max: u32,
     /// Peer-advertised window.
     snd_wnd: u32,
-    /// Bytes queued (front of queue corresponds to `snd_una`).
-    send_q: VecDeque<u8>,
+    /// Bytes queued (front of queue corresponds to `snd_una`). Stored as a
+    /// chain of shared chunks so segmentation and retransmission are
+    /// zero-copy windows into the application's writes.
+    send_q: ByteQueue,
     /// App requested close: FIN goes out after the queue drains.
     fin_queued: bool,
     /// Sequence number the FIN occupies once sent.
@@ -237,8 +240,10 @@ struct Socket {
     rcv_nxt: u32,
     /// Out-of-order segments keyed by start seq.
     ooo: BTreeMap<u32, Bytes>,
-    /// In-order bytes ready for the application.
-    recv_q: VecDeque<u8>,
+    /// In-order bytes ready for the application. Arriving payload `Bytes`
+    /// are chained here without copying; the application drains via
+    /// [`TcpStack::recv_bytes`] (zero-copy) or [`TcpStack::recv_into`].
+    recv_q: ByteQueue,
     /// We saw the peer's FIN (already consumed into rcv_nxt).
     peer_fin: bool,
     /// Window was advertised as zero; send an update when it reopens.
@@ -262,7 +267,7 @@ impl Socket {
             snd_nxt: 0,
             snd_max: 0,
             snd_wnd: 0,
-            send_q: VecDeque::new(),
+            send_q: ByteQueue::new(),
             fin_queued: false,
             fin_seq: None,
             want_write: false,
@@ -278,7 +283,7 @@ impl Socket {
             probing: false,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
-            recv_q: VecDeque::new(),
+            recv_q: ByteQueue::new(),
             peer_fin: false,
             wnd_was_closed: false,
             time_wait_deadline: None,
@@ -452,6 +457,10 @@ impl TcpStack {
 
     /// Queue bytes for transmission. Returns how many were accepted
     /// (bounded by send-buffer space); `Writable` fires when space reopens.
+    ///
+    /// This copies once, from `data` into the send queue; callers that
+    /// already own a [`Bytes`] should use [`TcpStack::send_bytes`], after
+    /// which the payload is never copied again on its way to the wire.
     pub fn send(&mut self, now: LocalNs, sock: SockId, data: &[u8]) -> usize {
         let Some(s) = self.sockets.get_mut(&sock) else {
             return 0;
@@ -461,9 +470,32 @@ impl TcpStack {
         }
         let space = self.cfg.send_buf.saturating_sub(s.send_q.len());
         let take = space.min(data.len());
-        s.send_q.extend(&data[..take]);
+        s.send_q.extend_from_slice(&data[..take]);
         if take < data.len() {
             s.want_write = true;
+        }
+        self.pump(now, sock);
+        take
+    }
+
+    /// Queue an owned chunk for transmission without copying: the chunk (or
+    /// the prefix that fits the send buffer) is chained into the send queue,
+    /// and segmentation/retransmission emit windows into it. Returns how
+    /// many bytes were accepted; `Writable` fires when space reopens.
+    pub fn send_bytes(&mut self, now: LocalNs, sock: SockId, data: Bytes) -> usize {
+        let Some(s) = self.sockets.get_mut(&sock) else {
+            return 0;
+        };
+        if !matches!(s.state, TcpState::Established | TcpState::CloseWait) || s.fin_queued {
+            return 0;
+        }
+        let space = self.cfg.send_buf.saturating_sub(s.send_q.len());
+        let take = space.min(data.len());
+        if take < data.len() {
+            s.send_q.push_bytes(data.slice(..take));
+            s.want_write = true;
+        } else {
+            s.send_q.push_bytes(data);
         }
         self.pump(now, sock);
         take
@@ -476,14 +508,51 @@ impl TcpStack {
             .map_or(0, |s| self.cfg.send_buf.saturating_sub(s.send_q.len()))
     }
 
-    /// Read up to `max` ready bytes.
+    /// Read up to `max` ready bytes. One copy (queue → fresh `Vec`);
+    /// [`TcpStack::recv_into`] reuses a caller buffer and
+    /// [`TcpStack::recv_bytes`] avoids the copy entirely.
     pub fn recv(&mut self, now: LocalNs, sock: SockId, max: usize) -> Vec<u8> {
+        let mut data = Vec::new();
+        self.recv_into(now, sock, &mut data, max);
+        data
+    }
+
+    /// Read up to `max` ready bytes, appending them to `out` (no
+    /// intermediate allocation — this is the framing-layer workhorse).
+    /// Returns the number of bytes appended.
+    pub fn recv_into(
+        &mut self,
+        now: LocalNs,
+        sock: SockId,
+        out: &mut Vec<u8>,
+        max: usize,
+    ) -> usize {
         let Some(s) = self.sockets.get_mut(&sock) else {
-            return Vec::new();
+            return 0;
         };
-        let n = max.min(s.recv_q.len());
-        let data: Vec<u8> = s.recv_q.drain(..n).collect();
-        // Window update: if we had closed the window, reopen it actively.
+        let n = s.recv_q.pop_into(out, max);
+        self.after_recv(now, sock, n);
+        n
+    }
+
+    /// Read up to `max` ready bytes as one shared chunk, copy-free when the
+    /// front of the queue is a whole arrived segment.
+    pub fn recv_bytes(&mut self, now: LocalNs, sock: SockId, max: usize) -> Bytes {
+        let Some(s) = self.sockets.get_mut(&sock) else {
+            return Bytes::new();
+        };
+        let data = s.recv_q.pop_bytes(max);
+        self.after_recv(now, sock, data.len());
+        data
+    }
+
+    /// Post-drain bookkeeping shared by the `recv*` family: if our
+    /// advertised window had collapsed to zero, reopen it actively.
+    fn after_recv(&mut self, now: LocalNs, sock: SockId, n: usize) {
+        let _ = now;
+        let Some(s) = self.sockets.get_mut(&sock) else {
+            return;
+        };
         if s.wnd_was_closed && n > 0 {
             s.wnd_was_closed = false;
             if s.remote.is_some() {
@@ -491,8 +560,6 @@ impl TcpStack {
                 self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::new());
             }
         }
-        let _ = now;
-        data
     }
 
     /// Bytes ready to read without blocking.
@@ -869,7 +936,8 @@ impl TcpStack {
             if unsent > 0 && room > 0 {
                 let take = (unsent.min(room) as usize).min(cfg.mss);
                 let offset = s.flight() as usize;
-                let chunk: Vec<u8> = s.send_q.iter().skip(offset).take(take).copied().collect();
+                // Zero-copy segmentation: an MSS-sized window into the queue.
+                let chunk = s.send_q.slice(offset, take);
                 let seq = s.snd_nxt;
                 s.snd_nxt = s.snd_nxt.wrapping_add(take as u32);
                 if seq_gt(s.snd_nxt, s.snd_max) {
@@ -886,7 +954,7 @@ impl TcpStack {
                     };
                     s.rtx_deadline = Some(now + s.rto_ns);
                 }
-                self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::from(chunk));
+                self.emit_segment(sock, seq, TcpFlags::ACK, chunk);
                 continue;
             }
 
@@ -921,9 +989,10 @@ impl TcpStack {
         let in_flight_data = s.flight().min(s.send_q.len() as u32);
         if in_flight_data > 0 {
             let take = (in_flight_data as usize).min(cfg.mss);
-            let chunk: Vec<u8> = s.send_q.iter().take(take).copied().collect();
+            // The queue front is `snd_una`: retransmit is a window, no copy.
+            let chunk = s.send_q.slice(0, take);
             let seq = s.snd_una;
-            self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::from(chunk));
+            self.emit_segment(sock, seq, TcpFlags::ACK, chunk);
         } else if let Some(fseq) = s.fin_seq {
             if seq_ge(fseq, s.snd_una) {
                 self.emit_segment(sock, fseq, TcpFlags::FIN_ACK, Bytes::new());
@@ -940,18 +1009,18 @@ impl TcpStack {
         };
         if s.flight() == 0 && !s.send_q.is_empty() {
             // First probe: push one byte past the zero window.
-            let b = s.send_q[0];
+            let b = s.send_q.slice(0, 1);
             let seq = s.snd_nxt;
             s.snd_nxt = s.snd_nxt.wrapping_add(1);
             if seq_gt(s.snd_nxt, s.snd_max) {
                 s.snd_max = s.snd_nxt;
             }
-            self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::copy_from_slice(&[b]));
+            self.emit_segment(sock, seq, TcpFlags::ACK, b);
         } else if s.flight() > 0 && !s.send_q.is_empty() {
             // Re-probe with the same in-flight head byte.
-            let b = s.send_q[0];
+            let b = s.send_q.slice(0, 1);
             let seq = s.snd_una;
-            self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::copy_from_slice(&[b]));
+            self.emit_segment(sock, seq, TcpFlags::ACK, b);
         } else {
             // Nothing to probe with; stop probing.
             s.probing = false;
@@ -1152,7 +1221,7 @@ impl TcpStack {
             let newly_acked = ack.wrapping_sub(s.snd_una);
             // Consume acked bytes from the queue (FIN consumes seq but no bytes).
             let data_acked = (newly_acked as usize).min(s.send_q.len());
-            s.send_q.drain(..data_acked);
+            s.send_q.advance(data_acked);
             s.snd_una = ack;
             s.retries = 0;
             s.dup_acks = 0;
@@ -1304,9 +1373,10 @@ impl TcpStack {
                 };
                 if !data.is_empty() {
                     if start_seq == s.rcv_nxt {
-                        s.recv_q.extend(data.iter());
-                        s.rcv_nxt = s.rcv_nxt.wrapping_add(data.len() as u32);
-                        delivered_bytes += data.len() as u64;
+                        let n = data.len();
+                        s.recv_q.push_bytes(data);
+                        s.rcv_nxt = s.rcv_nxt.wrapping_add(n as u32);
+                        delivered_bytes += n as u64;
                         advanced = true;
                         // Pull contiguous out-of-order segments.
                         while let Some((&oseq, _)) = s.ooo.iter().next() {
@@ -1320,9 +1390,10 @@ impl TcpStack {
                             }
                             let skip = s.rcv_nxt.wrapping_sub(oseq) as usize;
                             let fresh = obytes.slice(skip..);
-                            s.recv_q.extend(fresh.iter());
-                            s.rcv_nxt = s.rcv_nxt.wrapping_add(fresh.len() as u32);
-                            delivered_bytes += fresh.len() as u64;
+                            let fresh_len = fresh.len();
+                            s.recv_q.push_bytes(fresh);
+                            s.rcv_nxt = s.rcv_nxt.wrapping_add(fresh_len as u32);
+                            delivered_bytes += fresh_len as u64;
                         }
                     } else {
                         // Out of order: stash (keyed by start; last write wins).

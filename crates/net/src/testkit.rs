@@ -3,7 +3,8 @@
 //! This is *test infrastructure with production semantics*: it implements
 //! the same glue pattern `dvc-cluster` uses for real guests — drain stack
 //! outputs into the fabric, surface socket events, and keep exactly one
-//! generation-tagged timer interrupt armed per host. It also models **host
+//! timer interrupt armed per host (re-arming cancels the previously armed
+//! event rather than letting it fire stale). It also models **host
 //! pause/resume and snapshot/restore** of a TCP stack, which is how the unit
 //! tests here reproduce the paper's two network-cut scenarios at the
 //! sequence-number level before any hypervisor exists.
@@ -16,7 +17,7 @@ use crate::fabric::{self, Fabric, LinkParams, NetWorld};
 use crate::packet::{Packet, L4};
 use crate::tcp::{LocalNs, SockEvent, SockId, StackOutput, TcpConfig, TcpStack};
 use crate::udp::UdpStack;
-use dvc_sim_core::{Sim, SimTime};
+use dvc_sim_core::{EventHandle, Sim, SimTime};
 
 /// A one-shot packet filter: drops up to `remaining` packets matching `pred`.
 pub struct DropRule {
@@ -34,8 +35,8 @@ pub struct Host {
     /// While paused, inbound packets are dropped and timers do not fire —
     /// exactly a suspended guest.
     pub paused: bool,
-    /// Generation tag for the armed timer interrupt.
-    timer_gen: u64,
+    /// The armed timer interrupt, if any (cancelled on re-arm/pause).
+    timer_arm: Option<EventHandle>,
     /// App-visible socket events, in order.
     pub events: Vec<(SockId, SockEvent)>,
 }
@@ -45,6 +46,11 @@ pub struct TestWorld {
     pub fabric: Fabric,
     pub hosts: Vec<Host>,
     pub drop_rules: Vec<DropRule>,
+    /// When true, every TCP segment *emitted* by any host's stack is
+    /// appended to `seg_log` as `"h<i> tcp[...]"` — the golden-trace tests
+    /// pin the sender path (seq/ack/flags/len/wnd) against this log.
+    pub log_segments: bool,
+    pub seg_log: Vec<String>,
 }
 
 impl TestWorld {
@@ -63,7 +69,7 @@ impl TestWorld {
                 tcp: TcpStack::new(addr, tcp_cfg),
                 udp: UdpStack::new(addr),
                 paused: false,
-                timer_gen: 0,
+                timer_arm: None,
                 events: Vec::new(),
             });
         }
@@ -71,6 +77,8 @@ impl TestWorld {
             fabric,
             hosts,
             drop_rules: Vec::new(),
+            log_segments: false,
+            seg_log: Vec::new(),
         }
     }
 
@@ -136,7 +144,14 @@ pub fn drain(sim: &mut Sim<TestWorld>, h: usize) {
         }
         for o in outputs {
             match o {
-                StackOutput::Packet(p) => fabric::send(sim, p),
+                StackOutput::Packet(p) => {
+                    if sim.world.log_segments {
+                        if let L4::Tcp(seg) = &p.l4 {
+                            sim.world.seg_log.push(format!("h{h} {seg:?}"));
+                        }
+                    }
+                    fabric::send(sim, p)
+                }
                 StackOutput::Event(sock, ev) => sim.world.hosts[h].events.push((sock, ev)),
             }
         }
@@ -147,30 +162,36 @@ pub fn drain(sim: &mut Sim<TestWorld>, h: usize) {
     rearm_timer(sim, h);
 }
 
-/// Keep exactly one generation-tagged timer interrupt armed at the stack's
-/// next deadline. Stale interrupts self-invalidate on the generation check.
+/// Keep exactly one timer interrupt armed at the stack's next deadline:
+/// re-arming cancels the previously armed event.
 pub fn rearm_timer(sim: &mut Sim<TestWorld>, h: usize) {
-    sim.world.hosts[h].timer_gen += 1;
-    let gen = sim.world.hosts[h].timer_gen;
+    if let Some(arm) = sim.world.hosts[h].timer_arm.take() {
+        sim.cancel(arm);
+    }
     let Some(deadline) = sim.world.hosts[h].tcp.next_deadline() else {
         return;
     };
     let at = SimTime((deadline.max(0)) as u64);
-    sim.schedule_at(at, move |sim| {
-        let host = &sim.world.hosts[h];
-        if host.timer_gen != gen || host.paused {
+    let arm = sim.schedule_at(at, move |sim| {
+        // This is the armed interrupt firing: clear the slot so a later
+        // re-arm doesn't cancel an already-fired handle.
+        sim.world.hosts[h].timer_arm = None;
+        if sim.world.hosts[h].paused {
             return;
         }
         let now = local_now(sim);
         sim.world.hosts[h].tcp.on_timer(now);
         drain(sim, h);
     });
+    sim.world.hosts[h].timer_arm = Some(arm);
 }
 
 /// Pause a host (guest suspended: no delivery, no timers).
 pub fn pause(sim: &mut Sim<TestWorld>, h: usize) {
     sim.world.hosts[h].paused = true;
-    sim.world.hosts[h].timer_gen += 1; // kill armed interrupt
+    if let Some(arm) = sim.world.hosts[h].timer_arm.take() {
+        sim.cancel(arm); // kill armed interrupt
+    }
 }
 
 /// Resume a paused host; expired deadlines fire immediately (non-virtualized

@@ -32,5 +32,5 @@ pub mod trial;
 
 pub use faults::{FaultPlan, FaultWindow};
 pub use rng::RngStreams;
-pub use sim::{EventHandle, Sim};
+pub use sim::{EventHandle, Sim, SimStats};
 pub use time::{SimDuration, SimTime};

@@ -5,22 +5,51 @@
 //! `FnOnce(&mut Sim<W>)` — can mutate the world *and* schedule further events
 //! without fighting the borrow checker.
 //!
-//! Cancellation uses tombstones: [`Sim::cancel`] marks a handle dead and the
-//! dispatch loop skips dead entries when they surface. Components that re-arm
-//! timers aggressively (the TCP stack) instead use the *generation pattern*:
-//! the event closure captures a generation counter and checks it against the
-//! component's current one, making stale wakeups self-invalidating without
-//! queue surgery.
+//! Cancellation uses tombstones inside the [`EventQueue`]: [`Sim::cancel`]
+//! marks a handle dead; when the dead entry surfaces it still advances the
+//! clock to its timestamp (so the engine's step timeline is identical to the
+//! generation-guard scheme it replaced) but nothing is dispatched — the pop
+//! is counted as a no-op. Components that re-arm timers aggressively (the
+//! TCP stack, NTP pollers) should hold the [`EventHandle`] of their armed
+//! wakeup and cancel it on re-arm — the legacy alternative, a generation
+//! counter checked inside the closure, still works but pays the closure
+//! dispatch and the caller-side staleness lookup for every stale pop.
+//! [`Sim::stats`] exposes the no-op ratio so that flood is visible.
 
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
-use std::collections::HashSet;
 
 /// A handle to a scheduled event, usable with [`Sim::cancel`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(u64);
+
+/// Engine-level counters for perf accounting (see [`Sim::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events ever scheduled (live + cancelled + fired).
+    pub scheduled: u64,
+    /// Handlers actually dispatched.
+    pub executed: u64,
+    /// Cancelled entries discarded at the heap head without dispatch.
+    pub noop_pops: u64,
+    /// High-water mark of the event-queue depth.
+    pub peak_queue_depth: u64,
+}
+
+impl SimStats {
+    /// Fraction of pops that were dead on arrival. High values mean some
+    /// component is flooding the heap with events it then abandons.
+    pub fn noop_ratio(&self) -> f64 {
+        let pops = self.executed + self.noop_pops;
+        if pops == 0 {
+            0.0
+        } else {
+            self.noop_pops as f64 / pops as f64
+        }
+    }
+}
 
 type BoxedEvent<W> = Box<dyn FnOnce(&mut Sim<W>)>;
 
@@ -41,7 +70,6 @@ pub enum StopReason {
 pub struct Sim<W> {
     now: SimTime,
     queue: EventQueue<BoxedEvent<W>>,
-    cancelled: HashSet<u64>,
     executed: u64,
     stop_requested: bool,
     /// Named deterministic RNG streams (see [`RngStreams`]).
@@ -57,7 +85,6 @@ impl<W> Sim<W> {
         Sim {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            cancelled: HashSet::new(),
             executed: 0,
             stop_requested: false,
             rng: RngStreams::new(seed),
@@ -77,9 +104,21 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events currently pending.
+    /// Number of events currently pending (includes not-yet-reclaimed
+    /// tombstones of cancelled events).
     pub fn events_pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Engine counters: scheduled/executed totals, no-op (cancelled) pops and
+    /// the event-queue high-water mark.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            scheduled: self.queue.scheduled_total(),
+            executed: self.executed,
+            noop_pops: self.queue.noop_pops(),
+            peak_queue_depth: self.queue.peak_len() as u64,
+        }
     }
 
     /// Schedule `f` to run at absolute time `at` (clamped to now if in the past).
@@ -111,7 +150,7 @@ impl<W> Sim<W> {
     /// Cancel a scheduled event. Cancelling an already-fired or already-
     /// cancelled event is a no-op.
     pub fn cancel(&mut self, h: EventHandle) {
-        self.cancelled.insert(h.0);
+        self.queue.cancel(h.0);
     }
 
     /// Ask the run loop to stop after the current handler returns.
@@ -119,21 +158,21 @@ impl<W> Sim<W> {
         self.stop_requested = true;
     }
 
-    /// Execute the next event, if any. Returns `false` when the queue is empty.
+    /// Execute the next event, if any. Returns `false` when the queue is
+    /// empty. A cancelled entry at the head still advances the clock to its
+    /// timestamp (it remains a queue instant — see the queue docs) but
+    /// dispatches nothing and does not count as executed.
     pub fn step(&mut self) -> bool {
-        loop {
-            let Some(entry) = self.queue.pop() else {
-                return false;
-            };
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now, "time went backwards");
-            self.now = entry.time;
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        if let Some(f) = entry.event {
             self.executed += 1;
-            (entry.event)(self);
-            return true;
+            f(self);
         }
+        true
     }
 
     /// Run until the queue empties, `horizon` is reached, `max_events` are
@@ -217,6 +256,24 @@ mod tests {
         sim.cancel(h);
         sim.run_to_completion(100);
         assert_eq!(sim.world.log, vec![(60, "alive")]);
+    }
+
+    #[test]
+    fn stats_count_noops_and_peak_depth() {
+        let mut sim = Sim::new(World::default(), 1);
+        let handles: Vec<EventHandle> = (0..8)
+            .map(|i| sim.schedule_at(SimTime(10 + i), |s| logit(s, "t")))
+            .collect();
+        for h in &handles[..6] {
+            sim.cancel(*h);
+        }
+        sim.run_to_completion(100);
+        let st = sim.stats();
+        assert_eq!(st.scheduled, 8);
+        assert_eq!(st.executed, 2);
+        assert_eq!(st.noop_pops, 6);
+        assert_eq!(st.peak_queue_depth, 8);
+        assert!((st.noop_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -32,8 +32,10 @@
 //!   item.
 
 pub mod guest;
+pub mod mem;
 pub mod migrate;
 pub mod vm;
 
 pub use guest::{GuestCtx, GuestOs, GuestProc, KmsgEntry, ProcPoll, ProcState, VirtDisk, Watchdog};
+pub use mem::{GuestMem, MemImage};
 pub use vm::{OverheadProfile, Vm, VmId, VmImage, VmState};

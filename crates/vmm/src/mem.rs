@@ -1,0 +1,261 @@
+//! Guest physical memory with copy-on-write structural sharing.
+//!
+//! A [`GuestMem`] is a sparse array of 64 KiB pages behind `Arc`s. Untouched
+//! pages are not allocated at all (a fresh guest of any size costs one
+//! pointer per page); written pages are materialized on first touch. Taking
+//! a [`MemImage`] clones the page *pointers* — no page bytes move — and
+//! resets the dirty set, so the bytes a checkpoint pays for are exactly the
+//! pages written since the previous checkpoint: the write after a snapshot
+//! sees a shared `Arc` and copies that one page (`Arc::make_mut`) before
+//! mutating it. This is the same dirty-page economics live pre-copy
+//! migration exploits, applied to the snapshot path.
+//!
+//! [`GuestMem::deep_copy`] is the old O(guest) behavior — every resident
+//! page duplicated — kept as the honest baseline for the perf basket.
+//!
+//! Determinism: reads and writes touch no RNG and schedule no events, so
+//! wiring guest memory into a workload cannot perturb event order.
+
+use std::sync::Arc;
+
+/// One guest page's backing store. `None` = never-touched zero page.
+type Page = Option<Arc<Vec<u8>>>;
+
+/// Sparse copy-on-write guest physical memory.
+#[derive(Clone, Debug)]
+pub struct GuestMem {
+    mem_mb: u32,
+    pages: Vec<Page>,
+    /// One bit per page: written since the last `snapshot()`/`clear_dirty()`.
+    dirty: Vec<u64>,
+    dirty_count: usize,
+    /// Monotonic write counter — a cheap content fingerprint for image
+    /// checksums (two same-seed runs perform identical write sequences).
+    version: u64,
+}
+
+/// A point-in-time image of guest memory (shared pages, not copies).
+#[derive(Clone, Debug)]
+pub struct MemImage {
+    pub mem_mb: u32,
+    pages: Vec<Page>,
+    pub version: u64,
+}
+
+impl GuestMem {
+    /// Page granularity. 64 KiB keeps the page table small (16 pages/MB)
+    /// while staying fine-grained enough for working-set dirty tracking.
+    pub const PAGE_SIZE: usize = 64 * 1024;
+
+    pub fn new(mem_mb: u32) -> Self {
+        let n = mem_mb as usize * (1 << 20) / Self::PAGE_SIZE;
+        GuestMem {
+            mem_mb,
+            pages: vec![None; n],
+            dirty: vec![0; n.div_ceil(64)],
+            dirty_count: 0,
+            version: 0,
+        }
+    }
+
+    pub fn mem_mb(&self) -> u32 {
+        self.mem_mb
+    }
+
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pages with backing store allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Pages written since the last snapshot (or `clear_dirty`).
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Total writes ever performed (content fingerprint).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn mark_dirty(&mut self, page: usize) {
+        let (w, b) = (page / 64, page % 64);
+        if self.dirty[w] & (1 << b) == 0 {
+            self.dirty[w] |= 1 << b;
+            self.dirty_count += 1;
+        }
+    }
+
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+        self.dirty_count = 0;
+    }
+
+    /// Write a word at `addr` (bounds-wrapped into the guest footprint, so
+    /// workloads can hash addresses without caring about the exact size).
+    pub fn write_u64(&mut self, addr: usize, val: u64) {
+        let addr = addr % (self.pages.len() * Self::PAGE_SIZE).max(1);
+        let (pi, off) = (addr / Self::PAGE_SIZE, addr % Self::PAGE_SIZE);
+        let off = off.min(Self::PAGE_SIZE - 8);
+        let page = self.pages[pi].get_or_insert_with(|| Arc::new(vec![0u8; Self::PAGE_SIZE]));
+        // Shared with an image ⇒ copy this one page before writing (COW).
+        let bytes = Arc::make_mut(page);
+        bytes[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        self.mark_dirty(pi);
+        self.version += 1;
+    }
+
+    /// Read a word at `addr` (same wrapping as `write_u64`); untouched
+    /// memory reads as zero.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        let addr = addr % (self.pages.len() * Self::PAGE_SIZE).max(1);
+        let (pi, off) = (addr / Self::PAGE_SIZE, addr % Self::PAGE_SIZE);
+        let off = off.min(Self::PAGE_SIZE - 8);
+        match &self.pages[pi] {
+            Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+            None => 0,
+        }
+    }
+
+    /// O(dirty) snapshot: share every page with the image and reset the
+    /// dirty set. No page bytes are copied here; the only future copies are
+    /// the COW faults on pages written after this call.
+    pub fn snapshot(&mut self) -> MemImage {
+        let img = MemImage {
+            mem_mb: self.mem_mb,
+            pages: self.pages.clone(),
+            version: self.version,
+        };
+        self.clear_dirty();
+        img
+    }
+
+    /// O(guest) image: duplicate every resident page's bytes. This is what
+    /// `snapshot()` replaced; the perf basket measures both.
+    pub fn deep_copy(&self) -> MemImage {
+        MemImage {
+            mem_mb: self.mem_mb,
+            pages: self
+                .pages
+                .iter()
+                .map(|p| p.as_ref().map(|a| Arc::new(a.as_ref().clone())))
+                .collect(),
+            version: self.version,
+        }
+    }
+
+    /// Replace contents with a saved image (restore path). The image's pages
+    /// become shared again; the next write to any of them COW-faults.
+    pub fn restore(&mut self, img: &MemImage) {
+        self.mem_mb = img.mem_mb;
+        self.pages = img.pages.clone();
+        self.dirty = vec![0; self.pages.len().div_ceil(64)];
+        self.dirty_count = 0;
+        self.version = img.version;
+    }
+}
+
+impl MemImage {
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Read back a word (for restore-correctness tests).
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        let n = self.pages.len() * GuestMem::PAGE_SIZE;
+        let addr = addr % n.max(1);
+        let (pi, off) = (addr / GuestMem::PAGE_SIZE, addr % GuestMem::PAGE_SIZE);
+        let off = off.min(GuestMem::PAGE_SIZE - 8);
+        match &self.pages[pi] {
+            Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_is_unallocated_and_zero() {
+        let m = GuestMem::new(512);
+        assert_eq!(m.total_pages(), 8192);
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_u64(123 * GuestMem::PAGE_SIZE), 0);
+    }
+
+    #[test]
+    fn writes_materialize_and_dirty_pages() {
+        let mut m = GuestMem::new(4);
+        m.write_u64(0, 7);
+        m.write_u64(GuestMem::PAGE_SIZE + 8, 9);
+        m.write_u64(16, 11); // same page as the first write
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.dirty_pages(), 2);
+        assert_eq!(m.read_u64(0), 7);
+        assert_eq!(m.read_u64(GuestMem::PAGE_SIZE + 8), 9);
+        assert_eq!(m.version(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut m = GuestMem::new(4);
+        m.write_u64(0, 1);
+        m.write_u64(GuestMem::PAGE_SIZE, 2);
+        let img = m.snapshot();
+        assert_eq!(m.dirty_pages(), 0, "snapshot resets the dirty set");
+        m.write_u64(0, 99); // COW fault: copies one page
+        assert_eq!(img.read_u64(0), 1, "image must keep the old value");
+        assert_eq!(m.read_u64(0), 99);
+        assert_eq!(m.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn snapshot_copies_no_bytes_until_write() {
+        let mut m = GuestMem::new(4);
+        m.write_u64(0, 1);
+        let img = m.snapshot();
+        // Page 0 is shared between the live memory and the image.
+        let live = m.pages[0].as_ref().unwrap();
+        let saved = img.pages[0].as_ref().unwrap();
+        assert!(Arc::ptr_eq(live, saved));
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut m = GuestMem::new(4);
+        m.write_u64(8, 42);
+        let img = m.snapshot();
+        m.write_u64(8, 43);
+        m.write_u64(GuestMem::PAGE_SIZE * 2, 44);
+        m.restore(&img);
+        assert_eq!(m.read_u64(8), 42);
+        assert_eq!(m.read_u64(GuestMem::PAGE_SIZE * 2), 0);
+        assert_eq!(m.dirty_pages(), 0);
+        assert_eq!(m.version(), img.version);
+    }
+
+    #[test]
+    fn deep_copy_shares_nothing() {
+        let mut m = GuestMem::new(4);
+        m.write_u64(0, 5);
+        let img = m.deep_copy();
+        assert!(!Arc::ptr_eq(
+            m.pages[0].as_ref().unwrap(),
+            img.pages[0].as_ref().unwrap()
+        ));
+        assert_eq!(img.read_u64(0), 5);
+    }
+
+    #[test]
+    fn addresses_wrap_into_footprint() {
+        let mut m = GuestMem::new(1);
+        let footprint = m.total_pages() * GuestMem::PAGE_SIZE;
+        m.write_u64(footprint + 24, 3);
+        assert_eq!(m.read_u64(24), 3);
+    }
+}

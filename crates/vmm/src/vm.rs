@@ -1,6 +1,7 @@
 //! Virtual machine domains: lifecycle, overhead profiles, snapshots.
 
 use crate::guest::GuestOs;
+use crate::mem::GuestMem;
 use dvc_sim_core::{SimDuration, SimTime};
 
 /// A domain identifier, unique across the whole simulation.
@@ -88,8 +89,12 @@ impl Vm {
         mem_mb: u32,
         vcpus: u32,
         overhead: OverheadProfile,
-        guest: GuestOs,
+        mut guest: GuestOs,
     ) -> Self {
+        // The domain provisions the guest's physical memory footprint.
+        if guest.mem.mem_mb() != mem_mb {
+            guest.mem = GuestMem::new(mem_mb);
+        }
         Vm {
             id,
             mem_mb,
@@ -124,10 +129,13 @@ impl Vm {
         self.pause_count += 1;
     }
 
-    /// Take a snapshot of the paused domain. Pure state copy — the *time*
-    /// cost (serializing `image_bytes()` to storage) is modelled by the
-    /// caller against the storage subsystem.
-    pub fn snapshot(&self, taken_at: SimTime) -> VmImage {
+    /// Take a snapshot of the paused domain. O(dirty): the guest's memory
+    /// pages are shared with the image (`Arc` clones, no byte copies) and
+    /// the dirty set is reset, so the only bytes ever duplicated are the
+    /// COW faults on pages the guest writes *after* this call. The *time*
+    /// cost (serializing `image_bytes()` to storage) is still modelled by
+    /// the caller against the storage subsystem.
+    pub fn snapshot(&mut self, taken_at: SimTime) -> VmImage {
         debug_assert!(
             matches!(self.state, VmState::Paused | VmState::Saving),
             "snapshot of a running domain would be inconsistent"
@@ -141,6 +149,7 @@ impl Vm {
             taken_at,
             stored_checksum: 0,
         };
+        self.guest.mem.clear_dirty();
         img.stored_checksum = img.content_checksum();
         img
     }
@@ -211,6 +220,8 @@ impl VmImage {
         mix(self.vcpus as u64);
         mix(self.taken_at.nanos());
         mix(self.guest.kmsg.len() as u64);
+        mix(self.guest.mem.version());
+        mix(self.guest.mem.resident_pages() as u64);
         h
     }
 
