@@ -39,8 +39,13 @@ use dvc_core::vc;
 use dvc_mpi::harness;
 use dvc_sim_core::trace::{Trace, TraceStats};
 use dvc_sim_core::trial::{run_trials, CampaignSummary};
-use dvc_sim_core::{FaultPlan, SimDuration, SimTime};
+use dvc_sim_core::{
+    CheckCounts, FaultPlan, InvariantChecker, JsonlSink, Metrics, MetricsSnapshot, SimDuration,
+    SimTime,
+};
 use dvc_workloads::ring;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Arm {
@@ -55,6 +60,10 @@ struct TrialOut {
     degraded: u32,
     injected: u64,
     trace: TraceStats,
+    metrics: MetricsSnapshot,
+    violations: Vec<String>,
+    checked: Option<CheckCounts>,
+    jsonl: Option<Vec<String>>,
 }
 
 const CKPT_EVERY: u64 = 45;
@@ -98,7 +107,7 @@ fn plan_for(seed: u64, x: f64, t0: SimTime) -> FaultPlan {
     p
 }
 
-fn one(seed: u64, x: f64, arm: Arm) -> TrialOut {
+fn one(seed: u64, x: f64, arm: Arm, check: bool, export: bool) -> TrialOut {
     let laps: u64 = 1300; // ~270 s of work at ~210 ms/lap
     let tw = TrialWorld {
         nodes: 6,
@@ -109,6 +118,19 @@ fn one(seed: u64, x: f64, arm: Arm) -> TrialOut {
     };
     let (mut sim, vc_id) = tw.build();
     sim.trace = Trace::enabled(512).with_categories(&["fault", "rel", "lsc"]);
+    sim.metrics = Metrics::enabled();
+    let checker = check.then(|| {
+        let c = Rc::new(RefCell::new(InvariantChecker::new(
+            InvariantChecker::default_budget(),
+        )));
+        sim.attach_sink(c.clone());
+        c
+    });
+    let exporter = export.then(|| {
+        let s = Rc::new(RefCell::new(JsonlSink::new(200_000)));
+        sim.attach_sink(s.clone());
+        s
+    });
     if arm == Arm::Baseline {
         // The un-hardened pipeline: a failed storage transfer is final.
         sim.world.cfg.storage_retry.max_attempts = 1;
@@ -148,6 +170,13 @@ fn one(seed: u64, x: f64, arm: Arm) -> TrialOut {
         degraded: rel.degraded_checkpoints,
         injected: sim.world.faults.injected_total(),
         trace: sim.trace.stats(),
+        metrics: sim.metrics.snapshot(),
+        violations: checker
+            .as_ref()
+            .map(|c| c.borrow().violations().to_vec())
+            .unwrap_or_default(),
+        checked: checker.map(|c| c.borrow().counts()),
+        jsonl: exporter.map(|s| std::mem::take(&mut s.borrow_mut().lines)),
     }
 }
 
@@ -155,6 +184,11 @@ pub fn run(opts: Opts) {
     println!("## E13 — chaos drill: failure-aware checkpointing under compound faults\n");
     let trials = opts.trials(8);
     let mut summary = CampaignSummary::default();
+    let mut rollup = MetricsSnapshot::default();
+    let mut exported: Option<Vec<String>> = None;
+    let mut baseline_viol: Vec<String> = Vec::new();
+    let mut hardened_viol: Vec<String> = Vec::new();
+    let mut counts = CheckCounts::default();
     let mut t = Table::new(&[
         "severity",
         "policy",
@@ -171,11 +205,14 @@ pub fn run(opts: Opts) {
         ] {
             // Same seed base per severity: both arms face identical fault
             // schedules, so the gap is the pipeline, not luck.
+            // Export one full event stream: the first hardened trial at
+            // full severity (the richest stream the drill produces).
+            let export_here = arm == Arm::Hardened && x == 1.0;
             let rs = run_trials(
                 trials,
                 opts.seed ^ 0xE13 ^ (x * 100.0) as u64,
                 opts.threads,
-                |_i, seed| one(seed, x, arm),
+                |i, seed| one(seed, x, arm, opts.check_invariants, export_here && i == 0),
             );
             let succ = rs.iter().filter(|r| r.success).count();
             let mean_t = rs
@@ -187,6 +224,20 @@ pub fn run(opts: Opts) {
             let mean = |f: &dyn Fn(&TrialOut) -> f64| rs.iter().map(f).sum::<f64>() / trials as f64;
             for r in &rs {
                 summary.absorb(&r.trace);
+                rollup.merge(&r.metrics);
+                if let Some(c) = r.checked {
+                    counts.windows += c.windows;
+                    counts.sets += c.sets;
+                    counts.job_starts += c.job_starts;
+                }
+                let sink = match arm {
+                    Arm::Baseline => &mut baseline_viol,
+                    Arm::Hardened => &mut hardened_viol,
+                };
+                sink.extend(r.violations.iter().map(|v| format!("x={x:.2}: {v}")));
+            }
+            if let Some(lines) = rs.iter().find_map(|r| r.jsonl.clone()) {
+                exported = Some(lines);
             }
             t.row(&[
                 format!("{x:.2}"),
@@ -200,7 +251,54 @@ pub fn run(opts: Opts) {
         }
     }
     println!("{}", t.render());
-    println!("{summary}\n");
+    println!("{summary}");
+    if let Some(w) = summary.dropped_warning() {
+        println!("{w}");
+    }
+    if !rollup.is_empty() {
+        println!("\nmetrics rollup (both arms, all severities):\n");
+        println!("```");
+        print!("{rollup}");
+        println!("```");
+    }
+    if let Some(lines) = &exported {
+        let path = "EVENTS_E13.jsonl";
+        match std::fs::write(path, lines.join("\n") + "\n") {
+            Ok(()) => println!(
+                "\n_exported {} typed events (hardened arm, x=1.00, trial 0) to {path}_",
+                lines.len()
+            ),
+            Err(e) => eprintln!("e13: could not write {path}: {e}"),
+        }
+    }
+    if opts.check_invariants {
+        println!(
+            "\ninvariants ({} save windows, {} stored sets, {} job starts checked):",
+            counts.windows, counts.sets, counts.job_starts
+        );
+        println!("  hardened arm: {} violation(s)", hardened_viol.len());
+        for v in hardened_viol.iter().take(10) {
+            println!("    - {v}");
+        }
+        if baseline_viol.is_empty() {
+            println!("  baseline arm: 0 violation(s)");
+        } else {
+            println!(
+                "  baseline arm: {} violation(s) — expected detections: the un-hardened \
+                 coordinator keeps local-clock scheduling through the seeded clock step, \
+                 so a stored window can legitimately blow the silence budget",
+                baseline_viol.len()
+            );
+            for v in baseline_viol.iter().take(5) {
+                println!("    - {v}");
+            }
+        }
+        assert!(
+            hardened_viol.is_empty(),
+            "the hardened pipeline must never store a set that violates the window invariant"
+        );
+    }
+    println!();
     println!(
         "Both arms of each severity face identical seeded fault schedules. \
          The baseline dies to whichever fault lands first — an unretried \

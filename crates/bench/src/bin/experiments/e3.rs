@@ -8,13 +8,36 @@
 //! varying checkpoint gaps and VM memory footprints, until >2000 cycles
 //! have been executed. Every cycle must save all 26 VMs, resume them, and
 //! leave the application alive with verified data.
+//!
+//! Each trial also runs with the typed-event [`Metrics`] registry on; the
+//! merged rollup prints under the tables, the first trial's full event
+//! stream is exported to `EVENTS_E3.jsonl`, and `--check-invariants`
+//! attaches an [`InvariantChecker`] to every trial (this campaign injects
+//! no faults, so it must come back clean).
 
 use crate::Opts;
 use dvc_bench::scen::{ring_load, ring_verdict, run_cycles, settle, TrialWorld};
 use dvc_bench::table::{secs, Table};
 use dvc_core::lsc::LscMethod;
 use dvc_sim_core::trial::run_trials;
-use dvc_sim_core::SimDuration;
+use dvc_sim_core::{
+    CheckCounts, InvariantChecker, JsonlSink, Metrics, MetricsSnapshot, SimDuration,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct TrialOut {
+    cycles: usize,
+    cycle_fails: usize,
+    app_ok: bool,
+    skew_max: f64,
+    save_mean: f64,
+    mem_mb: u32,
+    metrics: MetricsSnapshot,
+    violations: Vec<String>,
+    checked: Option<CheckCounts>,
+    jsonl: Option<Vec<String>>,
+}
 
 pub fn run(opts: Opts) {
     println!("## E3 — NTP-scheduled LSC: the >2000-test campaign (paper §3.2)\n");
@@ -35,6 +58,19 @@ pub fn run(opts: Opts) {
             ..TrialWorld::default()
         };
         let (mut sim, vc_id) = tw.build();
+        sim.metrics = Metrics::enabled();
+        let checker = opts.check_invariants.then(|| {
+            let c = Rc::new(RefCell::new(InvariantChecker::new(
+                InvariantChecker::default_budget(),
+            )));
+            sim.attach_sink(c.clone());
+            c
+        });
+        let exporter = (i == 0).then(|| {
+            let s = Rc::new(RefCell::new(JsonlSink::new(200_000)));
+            sim.attach_sink(s.clone());
+            s
+        });
         let job = ring_load(&mut sim, vc_id, u64::MAX / 2);
         settle(&mut sim, SimDuration::from_secs(40));
         let outs = run_cycles(
@@ -57,20 +93,27 @@ pub fn run(opts: Opts) {
             .map(|o| o.save_duration.as_secs_f64())
             .sum::<f64>()
             / outs.len().max(1) as f64;
-        (
-            outs.len(),
+        TrialOut {
+            cycles: outs.len(),
             cycle_fails,
-            v.alive && v.data_ok,
+            app_ok: v.alive && v.data_ok,
             skew_max,
             save_mean,
             mem_mb,
-        )
+            metrics: sim.metrics.snapshot(),
+            violations: checker
+                .as_ref()
+                .map(|c| c.borrow().violations().to_vec())
+                .unwrap_or_default(),
+            checked: checker.map(|c| c.borrow().counts()),
+            jsonl: exporter.map(|s| std::mem::take(&mut s.borrow_mut().lines)),
+        }
     });
 
-    let total_cycles: usize = results.iter().map(|r| r.0).sum();
-    let failed_cycles: usize = results.iter().map(|r| r.1).sum();
-    let bad_apps = results.iter().filter(|r| !r.2).count();
-    let worst_skew = results.iter().map(|r| r.3).fold(0.0f64, f64::max);
+    let total_cycles: usize = results.iter().map(|r| r.cycles).sum();
+    let failed_cycles: usize = results.iter().map(|r| r.cycle_fails).sum();
+    let bad_apps = results.iter().filter(|r| !r.app_ok).count();
+    let worst_skew = results.iter().map(|r| r.skew_max).fold(0.0f64, f64::max);
 
     let mut t = Table::new(&["quantity", "value", "paper"]);
     t.row(&[
@@ -105,8 +148,8 @@ pub fn run(opts: Opts) {
     for mem in [64u32, 128, 256] {
         let xs: Vec<f64> = results
             .iter()
-            .filter(|r| r.5 == mem && r.0 > 0)
-            .map(|r| r.4)
+            .filter(|r| r.mem_mb == mem && r.cycles > 0)
+            .map(|r| r.save_mean)
             .collect();
         if xs.is_empty() {
             continue;
@@ -115,5 +158,58 @@ pub fn run(opts: Opts) {
         t2.row(&[format!("{mem} MB"), secs(mean)]);
     }
     println!("{}", t2.render());
+
+    // Typed-event metrics rollup across the whole campaign.
+    let mut rollup = MetricsSnapshot::default();
+    for r in &results {
+        rollup.merge(&r.metrics);
+    }
+    if !rollup.is_empty() {
+        println!("metrics rollup ({} trials):\n", results.len());
+        println!("```");
+        print!("{rollup}");
+        println!("```");
+    }
+    if let Some(lines) = results.iter().find_map(|r| r.jsonl.as_ref()) {
+        let path = "EVENTS_E3.jsonl";
+        match std::fs::write(path, lines.join("\n") + "\n") {
+            Ok(()) => println!(
+                "\n_exported {} typed events (trial 0) to {path}_",
+                lines.len()
+            ),
+            Err(e) => eprintln!("e3: could not write {path}: {e}"),
+        }
+    }
+    if opts.check_invariants {
+        let mut counts = CheckCounts::default();
+        let mut violations: Vec<&String> = Vec::new();
+        for r in &results {
+            if let Some(c) = r.checked {
+                counts.windows += c.windows;
+                counts.sets += c.sets;
+                counts.job_starts += c.job_starts;
+            }
+            violations.extend(&r.violations);
+        }
+        println!(
+            "\ninvariants: {} violation(s) across {} save windows, {} stored sets, \
+             {} job starts",
+            violations.len(),
+            counts.windows,
+            counts.sets,
+            counts.job_starts
+        );
+        for v in violations.iter().take(10) {
+            println!("  - {v}");
+        }
+        assert!(
+            violations.is_empty(),
+            "E3 injects no faults; the invariant stream must be clean"
+        );
+        assert!(
+            counts.windows > 0 && counts.sets > 0,
+            "E3 invariant checkers saw no checkpoint traffic — wiring broken?"
+        );
+    }
     println!();
 }

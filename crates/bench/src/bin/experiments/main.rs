@@ -31,6 +31,11 @@ pub struct Opts {
     pub scale: f64,
     pub seed: u64,
     pub threads: usize,
+    /// Attach [`dvc_sim_core::InvariantChecker`] sinks to every trial and
+    /// fail the run on any violation (hardened arms must stay clean;
+    /// baseline arms under injected clock faults report their violations
+    /// as detections).
+    pub check_invariants: bool,
 }
 
 impl Opts {
@@ -43,11 +48,13 @@ impl Opts {
 fn main() {
     let mut scale = 1.0f64;
     let mut seed = 20070926; // CLUSTER 2007 ;-)
+    let mut check_invariants = false;
     let mut picked: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => scale = 0.15,
+            "--check-invariants" => check_invariants = true,
             "--trials-scale" => {
                 scale = args
                     .next()
@@ -67,7 +74,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--trials-scale X] [--seed S] <e1..e13|all>..."
+                    "usage: experiments [--quick] [--trials-scale X] [--seed S] \
+                     [--check-invariants] <e1..e13|all>..."
                 );
                 std::process::exit(2);
             }
@@ -82,6 +90,7 @@ fn main() {
         scale,
         seed,
         threads: dvc_sim_core::trial::default_threads(),
+        check_invariants,
     };
     println!(
         "# DVC experiment run (seed {seed}, trial scale {scale}, {} threads)\n",

@@ -11,11 +11,14 @@
 //! cargo run --release -p dvc-bench --bin perf -- --out BENCH_PERF.json
 //! cargo run --release -p dvc-bench --bin perf -- --smoke # small sizes for CI
 //! cargo run --release -p dvc-bench --bin perf -- --smoke --check BENCH_PERF.json
+//! cargo run --release -p dvc-bench --bin perf -- --smoke --check-invariants
 //! ```
 //!
 //! `--check` reruns the basket and fails (exit 1) if any scenario's
 //! events/sec regressed by more than 30% against the `smoke_baseline`
-//! section of the given committed JSON.
+//! section of the given committed JSON. `--check-invariants` appends an
+//! untimed LSC cycle with the typed-event spine fully attached and fails
+//! on any stream-invariant violation.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,7 +30,9 @@ use dvc_net::fabric::LinkParams;
 use dvc_net::tcp::{SockEvent, SockId, TcpConfig};
 use dvc_net::testkit::{drain, local_now, run_until, TestWorld};
 use dvc_sim_core::trial::run_trials;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{InvariantChecker, Metrics, Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// One scenario's measurements.
 struct Row {
@@ -291,6 +296,60 @@ fn run_basket(smoke: bool) -> Vec<Row> {
     vec![r1, r2, r3, r4]
 }
 
+/// Untimed verification pass behind `--check-invariants`: re-runs the LSC
+/// cycle scenario with the typed-event spine fully on (metrics registry +
+/// [`InvariantChecker`] sink) and fails on any violation. Deliberately a
+/// *separate* pass — the timed scenarios above run with no sinks attached,
+/// so the numbers measure the disabled-spine fast path the gate protects.
+fn check_invariants_pass(smoke: bool) {
+    let (nodes, mem_mb) = if smoke { (8, 64) } else { (26, 128) };
+    eprintln!("perf: invariant pass (lsc cycle, {nodes} nodes, sinks attached)...");
+    let tw = TrialWorld {
+        nodes,
+        spares: 1,
+        mem_mb,
+        seed: 7,
+        ..TrialWorld::default()
+    };
+    let (mut sim, vc_id) = tw.build();
+    sim.metrics = Metrics::enabled();
+    let checker = Rc::new(RefCell::new(InvariantChecker::new(
+        InvariantChecker::default_budget(),
+    )));
+    sim.attach_sink(checker.clone());
+    let _job = scen::ring_load(&mut sim, vc_id, u64::MAX / 2);
+    scen::settle(&mut sim, SimDuration::from_secs(30));
+    let outs = scen::run_cycles(
+        &mut sim,
+        vc_id,
+        LscMethod::ntp_default(),
+        2,
+        SimDuration::from_secs(5),
+    );
+    scen::settle(&mut sim, SimDuration::from_secs(20));
+    assert!(
+        outs.iter().all(|o| o.success),
+        "invariant pass: checkpoint cycle failed"
+    );
+    let c = checker.borrow();
+    eprintln!(
+        "perf: invariants {} (lsc.save_fired = {})",
+        c.report(),
+        sim.metrics.counter("lsc.save_fired")
+    );
+    if !c.is_clean() {
+        for v in c.violations() {
+            eprintln!("perf: invariant violation: {v}");
+        }
+        std::process::exit(1);
+    }
+    let counts = c.counts();
+    assert!(
+        counts.windows > 0 && counts.sets > 0,
+        "invariant pass saw no checkpoint traffic — event wiring broken?"
+    );
+}
+
 /// Extract `"<scenario>": {... "events_per_sec": N ...}` pairs from the
 /// `"<section>"` object of a committed BENCH_PERF.json (no JSON dep; the
 /// file is machine-written with one scenario per line).
@@ -326,6 +385,7 @@ fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let check_invariants = args.iter().any(|a| a == "--check-invariants");
     let check = args
         .iter()
         .position(|a| a == "--check")
@@ -393,5 +453,9 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("perf check: passed");
+    }
+
+    if check_invariants {
+        check_invariants_pass(smoke);
     }
 }

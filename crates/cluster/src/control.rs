@@ -17,7 +17,7 @@
 use crate::node::NodeId;
 use crate::world::ClusterWorld;
 use dvc_sim_core::rng::lognormal_sample;
-use dvc_sim_core::{sim_trace, Sim, SimDuration};
+use dvc_sim_core::{Event, FaultEvent, Sim, SimDuration};
 
 /// Sample the latency of opening a terminal connection to `node`.
 pub fn open_delay(sim: &mut Sim<ClusterWorld>, node: NodeId) -> SimDuration {
@@ -62,7 +62,13 @@ pub fn ctrl_call(
 ) {
     if partitioned(sim, node) {
         sim.world.faults.note_injected("control.partition");
-        sim_trace!(sim, "fault", "control msg to {node:?} lost: partition");
+        sim.emit(Event::Fault(FaultEvent::Injected {
+            what: "control.partition",
+        }));
+        sim.emit(Event::Fault(FaultEvent::CtrlPartitioned {
+            node: node.0,
+            in_flight: false,
+        }));
         return;
     }
     let now = sim.now();
@@ -72,17 +78,22 @@ pub fn ctrl_call(
         .faults
         .roll("control.drop", Some(node.0 as u64), now, rng)
     {
-        sim_trace!(sim, "fault", "control msg to {node:?} dropped");
+        sim.emit(Event::Fault(FaultEvent::Injected {
+            what: "control.drop",
+        }));
+        sim.emit(Event::Fault(FaultEvent::CtrlDropped { node: node.0 }));
         return;
     }
     sim.schedule_in(delay, move |sim| {
         if partitioned(sim, node) {
             sim.world.faults.note_injected("control.partition");
-            sim_trace!(
-                sim,
-                "fault",
-                "control msg to {node:?} lost in flight: partition"
-            );
+            sim.emit(Event::Fault(FaultEvent::Injected {
+                what: "control.partition",
+            }));
+            sim.emit(Event::Fault(FaultEvent::CtrlPartitioned {
+                node: node.0,
+                in_flight: true,
+            }));
             return;
         }
         if sim.world.node(node).up {

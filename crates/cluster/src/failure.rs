@@ -8,7 +8,7 @@ use crate::glue::destroy_vm;
 use crate::node::NodeId;
 use crate::world::ClusterWorld;
 use dvc_sim_core::rng::exp_sample;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{Event, RmEvent, Sim, SimDuration, SimTime};
 
 /// Crash `node`: NIC down, all hosted domains destroyed.
 pub fn crash_node(sim: &mut Sim<ClusterWorld>, node: NodeId) {
@@ -27,6 +27,7 @@ pub fn crash_node(sim: &mut Sim<ClusterWorld>, node: NodeId) {
         destroy_vm(sim, vm);
     }
     sim.world.rm.note_node_down(node);
+    sim.emit(Event::Rm(RmEvent::NodeDown { node: node.0 }));
 }
 
 /// Bring `node` back up (empty, clock unchanged — it kept ticking in BIOS).
@@ -42,6 +43,7 @@ pub fn repair_node(sim: &mut Sim<ClusterWorld>, node: NodeId) {
     };
     sim.world.fabric.set_nic_up(nic, true);
     sim.world.rm.note_node_up(node);
+    sim.emit(Event::Rm(RmEvent::NodeUp { node: node.0 }));
 }
 
 /// Configuration of an MTBF-driven failure process.

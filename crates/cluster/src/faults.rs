@@ -12,7 +12,7 @@
 use crate::node::NodeId;
 use crate::storage;
 use crate::world::ClusterWorld;
-use dvc_sim_core::{sim_trace, FaultPlan, Sim};
+use dvc_sim_core::{Event, FaultEvent, FaultPlan, Sim};
 
 /// Hand `plan` to the world and schedule boundary events for its
 /// window-driven effects. Call once, before (or at) simulation start.
@@ -25,11 +25,14 @@ pub fn install_fault_plan(sim: &mut Sim<ClusterWorld>, plan: FaultPlan) {
                 let (from, until) = (w.from.max(now), w.until.max(now));
                 sim.schedule_at(from, move |sim| {
                     sim.world.faults.note_injected("storage.brownout");
-                    sim_trace!(sim, "fault", "storage brownout begins: ×{factor:.2}");
+                    sim.emit(Event::Fault(FaultEvent::Injected {
+                        what: "storage.brownout",
+                    }));
+                    sim.emit(Event::Fault(FaultEvent::BrownoutBegin { factor }));
                     storage::set_rate_factor(sim, factor);
                 });
                 sim.schedule_at(until, move |sim| {
-                    sim_trace!(sim, "fault", "storage brownout ends");
+                    sim.emit(Event::Fault(FaultEvent::BrownoutEnd));
                     storage::set_rate_factor(sim, 1.0);
                 });
             }
@@ -44,7 +47,11 @@ pub fn install_fault_plan(sim: &mut Sim<ClusterWorld>, plan: FaultPlan) {
                     let now = sim.now();
                     sim.world.node_mut(node).clock.correct(now, step_s * 1e9);
                     sim.world.faults.note_injected("clock.step");
-                    sim_trace!(sim, "fault", "clock on {node:?} stepped by {step_s:+.3} s");
+                    sim.emit(Event::Fault(FaultEvent::Injected { what: "clock.step" }));
+                    sim.emit(Event::Fault(FaultEvent::ClockStep {
+                        node: node.0,
+                        step_s,
+                    }));
                 });
             }
             // Probabilistic / query-time kinds need no boundary events.

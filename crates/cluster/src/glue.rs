@@ -25,7 +25,9 @@ use dvc_net::fabric;
 use dvc_net::packet::{Packet, L4};
 use dvc_net::tcp::LocalNs;
 use dvc_net::NicId;
-use dvc_sim_core::{EventHandle, Sim, SimDuration, SimTime};
+use dvc_sim_core::{
+    Event, EventHandle, FaultEvent, Sim, SimDuration, SimTime, StorageEvent, TcpEvent, VmmEvent,
+};
 use dvc_vmm::guest::{GuestOs, GuestProc, ProcPoll, ProcState};
 use dvc_vmm::{Vm, VmId, VmImage, VmState};
 use std::collections::HashMap;
@@ -164,8 +166,17 @@ pub fn save_vm(
         return;
     }
     v.state = VmState::Saving;
+    let dirty = v.guest.mem.dirty_pages() as u64;
+    let total = v.guest.mem.total_pages() as u64;
     let mut image = v.snapshot(now);
     let bytes = image.size_bytes();
+    sim.emit(Event::Vmm(VmmEvent::SnapshotBegin { vm: vm.0 }));
+    sim.emit(Event::Vmm(VmmEvent::PagesDirty {
+        vm: vm.0,
+        dirty,
+        total,
+    }));
+    sim.emit(Event::Vmm(VmmEvent::SnapshotEnd { vm: vm.0, bytes }));
     storage::note_bytes(sim, bytes);
     storage::transfer_with_retry(sim, bytes, move |sim, ok| {
         if let Some(v) = sim.world.vm_mut(vm) {
@@ -174,7 +185,7 @@ pub fn save_vm(
             }
         }
         if !ok {
-            dvc_sim_core::sim_trace!(sim, "fault", "save of {vm:?} lost to storage failure");
+            sim.emit(Event::Storage(StorageEvent::SaveLost { vm: vm.0 }));
             on_done(sim, None);
             return;
         }
@@ -182,7 +193,10 @@ pub fn save_vm(
         let rng = sim.rng.stream("fault.image");
         if sim.world.faults.roll("image.corrupt", None, now, rng) {
             image.corrupt_silently();
-            dvc_sim_core::sim_trace!(sim, "fault", "stored image of {vm:?} silently corrupted");
+            sim.emit(Event::Fault(FaultEvent::Injected {
+                what: "image.corrupt",
+            }));
+            sim.emit(Event::Storage(StorageEvent::ChecksumFail { vm: vm.0 }));
         }
         on_done(sim, Some(image));
     });
@@ -392,9 +406,34 @@ pub fn drain_vm(sim: &mut Sim<ClusterWorld>, vm: VmId) {
             fabric::send(sim, p);
         }
     }
+    // Surface the transport anomalies the stack noted while we were away
+    // (retransmits, probes, aborts) onto the typed event spine.
+    if let Some(v) = sim.world.vm_mut(vm) {
+        if v.guest.tcp.has_notes() {
+            let notes = v.guest.tcp.take_notes();
+            let ep = vm.0;
+            for n in notes {
+                sim.emit(Event::Tcp(tcp_note_event(n, ep)));
+            }
+        }
+    }
     rearm_guest_timer(sim, vm);
     if had_events {
         wake_blocked_procs(sim, vm);
+    }
+}
+
+/// Map a stack-level [`dvc_net::tcp::TcpNote`] onto the typed spine,
+/// attaching the endpoint (VM) that owns the stack.
+fn tcp_note_event(n: dvc_net::tcp::TcpNote, ep: u32) -> TcpEvent {
+    use dvc_net::tcp::TcpNote as N;
+    match n {
+        N::Retransmit => TcpEvent::Retransmit { ep },
+        N::FastRetransmit => TcpEvent::FastRetransmit { ep },
+        N::RtoFired => TcpEvent::RtoFired { ep },
+        N::ZeroWindowProbe => TcpEvent::ZeroWindowProbe { ep },
+        N::KeepaliveProbe => TcpEvent::KeepaliveProbe { ep },
+        N::ConnAborted => TcpEvent::ConnAborted { ep },
     }
 }
 

@@ -12,7 +12,7 @@ use crate::node::NodeId;
 use crate::world::ClusterWorld;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dvc_net::tcp::LocalNs;
-use dvc_sim_core::{sim_trace, Sim, SimDuration};
+use dvc_sim_core::{Event, FaultEvent, NtpEvent, Sim, SimDuration};
 use dvc_time::ntp::{offset_delay, NtpSample};
 
 /// Well-known server port.
@@ -114,12 +114,12 @@ pub fn dispatch_host_udp(sim: &mut Sim<ClusterWorld>, node: NodeId) {
                 // Server down: requests are consumed but never answered, so
                 // clients silently stop getting samples and re-drift.
                 sim.world.faults.note_injected("ntp.outage");
-                sim_trace!(
-                    sim,
-                    "fault",
-                    "ntp request from {:?} unanswered: outage",
-                    req.src
-                );
+                sim.emit(Event::Fault(FaultEvent::Injected { what: "ntp.outage" }));
+                let (phys, host) = match req.src {
+                    dvc_net::Addr::Phys(p) => (true, p.0),
+                    dvc_net::Addr::Virt(v) => (false, v.0),
+                };
+                sim.emit(Event::Ntp(NtpEvent::Unanswered { phys, host }));
                 continue;
             }
             if req.payload.len() < 8 {

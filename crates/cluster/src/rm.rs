@@ -8,7 +8,7 @@
 
 use crate::node::{ClusterId, NodeId};
 use crate::world::ClusterWorld;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{Event, RmEvent, Sim, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Batch job identifier.
@@ -156,6 +156,7 @@ pub fn submit(
     );
     rm.queue.push_back(id);
     rm.launchers.insert(id, Box::new(launcher));
+    sim.emit(Event::Rm(RmEvent::JobQueued { job: id.0 }));
     try_schedule(sim);
     id
 }
@@ -264,6 +265,10 @@ fn backfill_pass(sim: &mut Sim<ClusterWorld>, _head: JobId, head_spec: &JobSpec)
             break;
         }
     }
+    sim.emit(Event::Rm(RmEvent::BackfillReservation {
+        head_job: _head.0,
+        shadow,
+    }));
     // Nodes spare even after the head starts at shadow time.
     let extra = avail_at_shadow.saturating_sub(head_spec.nodes);
 
@@ -276,6 +281,7 @@ fn backfill_pass(sim: &mut Sim<ClusterWorld>, _head: JobId, head_spec: &JobSpec)
         let within_extra = spec.nodes <= extra;
         if ends_before_shadow || within_extra {
             sim.world.rm.queue.retain(|&j| j != cand);
+            sim.emit(Event::Rm(RmEvent::BackfillStarted { job: cand.0 }));
             start_job(sim, cand, nodes);
         }
     }
@@ -293,6 +299,10 @@ fn start_job(sim: &mut Sim<ClusterWorld>, id: JobId, nodes: Vec<NodeId>) {
             rm.busy.insert(n);
         }
     }
+    sim.emit(Event::Rm(RmEvent::JobStarted {
+        job: id.0,
+        nodes: nodes.iter().map(|n| n.0).collect(),
+    }));
     if let Some(launcher) = sim.world.rm.launchers.remove(&id) {
         launcher(sim, id, nodes);
     }
@@ -320,6 +330,7 @@ pub fn complete_job(sim: &mut Sim<ClusterWorld>, id: JobId, success: bool) {
             rm.busy.remove(&n);
         }
     }
+    sim.emit(Event::Rm(RmEvent::JobCompleted { job: id.0, success }));
     try_schedule(sim);
 }
 
@@ -478,6 +489,157 @@ mod tests {
             .filter(|&&n| sim.world.node(n).cluster == ClusterId(0))
             .count();
         assert!(c0 > 0 && c0 < 3, "must actually span: {c0} in cluster 0");
+    }
+
+    #[test]
+    fn spanning_head_is_not_starved_by_backfill() {
+        let mut sim = sim(2, 3);
+        // A pins 2 nodes of cluster 0 until t=100; B pins all of cluster 1
+        // until t=40. One node (in cluster 0) is free.
+        let _a = submit(
+            &mut sim,
+            spec(2, 100, Placement::Cluster(ClusterId(0))),
+            recording_launcher(),
+        );
+        let b = submit(
+            &mut sim,
+            spec(3, 40, Placement::Cluster(ClusterId(1))),
+            recording_launcher(),
+        );
+        // Head H needs 4 nodes spanning clusters: blocked, shadow = t=40
+        // (B's release gives 1 + 3 ≥ 4) with zero spare nodes at shadow.
+        let h = submit(
+            &mut sim,
+            spec(4, 50, Placement::AllowSpan),
+            recording_launcher(),
+        );
+        // C wants the free node far past the shadow: starting it would
+        // push the spanning head — EASY must hold it back.
+        let c = submit(
+            &mut sim,
+            spec(1, 200, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        // D fits entirely before the shadow: legitimate backfill.
+        let d = submit(
+            &mut sim,
+            spec(1, 10, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        assert_eq!(sim.world.rm.job(h).unwrap().state, JobState::Queued);
+        assert_eq!(
+            sim.world.rm.job(c).unwrap().state,
+            JobState::Queued,
+            "long filler would delay the spanning head past its shadow"
+        );
+        assert_eq!(
+            sim.world.rm.job(d).unwrap().state,
+            JobState::Running,
+            "short filler backfills without touching the head's reservation"
+        );
+        // B releases cluster 1: still only 3 free (D holds the 4th), so the
+        // spanning head keeps waiting rather than starting short.
+        complete_job(&mut sim, b, true);
+        assert_eq!(sim.world.rm.job(h).unwrap().state, JobState::Queued);
+        complete_job(&mut sim, d, true);
+        let job_h = sim.world.rm.job(h).unwrap();
+        assert_eq!(job_h.state, JobState::Running);
+        let in_c1 = job_h
+            .assigned
+            .iter()
+            .filter(|&&n| sim.world.node(n).cluster == ClusterId(1))
+            .count();
+        assert!(
+            in_c1 > 0 && in_c1 < 4,
+            "head must actually span clusters: {in_c1} of 4 in cluster 1"
+        );
+    }
+
+    #[test]
+    fn spanning_allocation_respects_per_cluster_accounting() {
+        let mut sim = sim(2, 3);
+        // Fragment the free space: 2 busy in each cluster, 1 free in each.
+        let fill0 = submit(
+            &mut sim,
+            spec(2, 100, Placement::Cluster(ClusterId(0))),
+            recording_launcher(),
+        );
+        let fill1 = submit(
+            &mut sim,
+            spec(2, 100, Placement::Cluster(ClusterId(1))),
+            recording_launcher(),
+        );
+        let span = submit(
+            &mut sim,
+            spec(2, 10, Placement::AllowSpan),
+            recording_launcher(),
+        );
+        let job = sim.world.rm.job(span).unwrap().clone();
+        assert_eq!(job.state, JobState::Running);
+        // Exactly one node from each cluster, disjoint from the fillers,
+        // every assigned node accounted busy.
+        for c in [ClusterId(0), ClusterId(1)] {
+            let in_c = job
+                .assigned
+                .iter()
+                .filter(|&&n| sim.world.node(n).cluster == c)
+                .count();
+            assert_eq!(in_c, 1, "one node from each cluster");
+        }
+        let mut all: Vec<NodeId> = job.assigned.clone();
+        all.extend(&sim.world.rm.job(fill0).unwrap().assigned);
+        all.extend(&sim.world.rm.job(fill1).unwrap().assigned);
+        let uniq: HashSet<NodeId> = all.iter().copied().collect();
+        assert_eq!(uniq.len(), all.len(), "no node is double-assigned");
+        assert_eq!(sim.world.rm.busy_nodes(), 6);
+        for &n in &job.assigned {
+            assert!(sim.world.rm.is_busy(n));
+        }
+        // Completion frees exactly the spanning job's nodes, in both
+        // clusters, so pinned jobs can start in either.
+        complete_job(&mut sim, span, true);
+        assert_eq!(sim.world.rm.busy_nodes(), 4);
+        let pinned = submit(
+            &mut sim,
+            spec(1, 10, Placement::Cluster(ClusterId(1))),
+            recording_launcher(),
+        );
+        assert_eq!(sim.world.rm.job(pinned).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn spanning_job_backfills_behind_a_blocked_head() {
+        let mut sim = sim(2, 3);
+        // 1 node free in each cluster; the head needs 3 in one cluster.
+        let _fill0 = submit(
+            &mut sim,
+            spec(2, 30, Placement::Cluster(ClusterId(0))),
+            recording_launcher(),
+        );
+        let _fill1 = submit(
+            &mut sim,
+            spec(2, 100, Placement::Cluster(ClusterId(1))),
+            recording_launcher(),
+        );
+        let head = submit(
+            &mut sim,
+            spec(3, 50, Placement::SingleCluster),
+            recording_launcher(),
+        );
+        // Spanning 2-node candidate that finishes before the head's shadow
+        // (t=30): it may take the two cross-cluster leftovers.
+        let span = submit(
+            &mut sim,
+            spec(2, 10, Placement::AllowSpan),
+            recording_launcher(),
+        );
+        assert_eq!(sim.world.rm.job(head).unwrap().state, JobState::Queued);
+        assert_eq!(
+            sim.world.rm.job(span).unwrap().state,
+            JobState::Running,
+            "spanning candidate must be allowed to backfill fragmented space"
+        );
+        assert_eq!(sim.world.rm.busy_nodes(), 6);
     }
 
     #[test]

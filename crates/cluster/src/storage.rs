@@ -11,7 +11,7 @@
 //! scheduled exactly and re-derived whenever a transfer starts or ends.
 
 use crate::world::ClusterWorld;
-use dvc_sim_core::{sim_trace, Sim, SimDuration, SimTime};
+use dvc_sim_core::{Event, FaultEvent, Sim, SimDuration, SimTime, StorageEvent};
 use std::collections::HashMap;
 
 pub type TransferId = u64;
@@ -189,7 +189,10 @@ pub fn start_transfer_checked(
         let failed = sim.world.faults.roll("storage.fail", None, now, rng);
         if failed {
             sim.world.storage.transfers_failed += 1;
-            sim_trace!(sim, "fault", "storage transfer of {bytes} B failed");
+            sim.emit(Event::Fault(FaultEvent::Injected {
+                what: "storage.fail",
+            }));
+            sim.emit(Event::Storage(StorageEvent::TransferFailed { bytes }));
         }
         cb(sim, !failed);
     })
@@ -232,11 +235,12 @@ fn attempt_transfer(
         sim.world.storage.retries += 1;
         let backoff =
             SimDuration::from_secs_f64(base_backoff_s * f64::from(1u32 << (attempt - 1).min(10)));
-        sim_trace!(
-            sim,
-            "fault",
-            "storage retry {attempt}/{max_attempts} for {bytes} B after {backoff}"
-        );
+        sim.emit(Event::Storage(StorageEvent::TransferRetry {
+            attempt,
+            max_attempts,
+            bytes,
+            backoff,
+        }));
         sim.schedule_in(backoff, move |sim| {
             attempt_transfer(sim, bytes, attempt + 1, max_attempts, base_backoff_s, cb);
         });

@@ -40,7 +40,7 @@ use dvc_cluster::glue;
 use dvc_cluster::node::NodeId;
 use dvc_cluster::storage;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{sim_trace, Sim, SimDuration, SimTime};
+use dvc_sim_core::{Event, LscEvent, Sim, SimDuration, SimTime};
 use dvc_vmm::{VmId, VmImage};
 use rand::Rng;
 use std::collections::HashMap;
@@ -307,6 +307,13 @@ fn start_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
         (r.vc, r.method, r.attempt_epoch)
     };
     let members = member_hosts(sim, vc_id);
+    for &(i, _, _) in &members {
+        sim.emit(Event::Lsc(LscEvent::ArmSent {
+            run: run_id,
+            vc: vc_id.0,
+            member: i as u32,
+        }));
+    }
 
     match method {
         LscMethod::Naive => {
@@ -400,6 +407,12 @@ fn start_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
                     r.aborted = true;
                 }
                 if attempts_left {
+                    let vc = runs(sim).runs.get(&run_id).map(|r| r.vc.0).unwrap_or(0);
+                    sim.emit(Event::Lsc(LscEvent::AbortReArm {
+                        run: run_id,
+                        vc,
+                        attempt,
+                    }));
                     start_attempt(sim, run_id);
                 } else {
                     finish_run(
@@ -465,6 +478,12 @@ fn start_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
                     r.aborted = true;
                 }
                 if attempts_left {
+                    let vc = runs(sim).runs.get(&run_id).map(|r| r.vc.0).unwrap_or(0);
+                    sim.emit(Event::Lsc(LscEvent::AbortReArm {
+                        run: run_id,
+                        vc,
+                        attempt,
+                    }));
                     start_attempt(sim, run_id);
                 } else {
                     finish_run(
@@ -590,7 +609,7 @@ fn arm_run_watchdog(sim: &mut Sim<ClusterWorld>, run_id: u64, after: SimDuration
 /// `vm save` lands on a member: pause + snapshot + stream to storage.
 fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) {
     let now = sim.now();
-    {
+    let vc_id = {
         let Some(r) = runs(sim).runs.get_mut(&run_id) else {
             return;
         };
@@ -598,7 +617,14 @@ fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) 
             return;
         }
         r.pause_times[member] = Some(now);
-    }
+        r.vc
+    };
+    sim.emit(Event::Lsc(LscEvent::SaveFired {
+        run: run_id,
+        vc: vc_id.0,
+        member: member as u32,
+        vm: vm.0,
+    }));
     let alive = sim
         .world
         .vm(vm)
@@ -645,21 +671,19 @@ fn on_save_complete(
                 r.save_attempts[member]
             };
             if attempts <= MAX_SAVE_RETRIES {
-                sim_trace!(
-                    sim,
-                    "lsc",
-                    "image of {vm:?} failed checksum; re-saving (attempt {attempts})"
-                );
+                sim.emit(Event::Lsc(LscEvent::ChecksumResave {
+                    vm: vm.0,
+                    attempt: attempts,
+                }));
                 glue::save_vm(sim, vm, move |sim, image| {
                     on_save_complete(sim, run_id, member, vm, image);
                 });
                 return;
             }
-            sim_trace!(
-                sim,
-                "lsc",
-                "image of {vm:?} still corrupt after {MAX_SAVE_RETRIES} re-saves; giving up"
-            );
+            sim.emit(Event::Lsc(LscEvent::ChecksumGiveUp {
+                vm: vm.0,
+                retries: MAX_SAVE_RETRIES,
+            }));
             member_resolved(sim, run_id, member, None);
             return;
         }
@@ -673,20 +697,27 @@ fn member_resolved(
     member: usize,
     image: Option<VmImage>,
 ) {
-    let save_phase_complete = {
+    let (save_phase_complete, vc_id, ok) = {
         let Some(r) = runs(sim).runs.get_mut(&run_id) else {
             return;
         };
         if r.finished {
             return;
         }
+        let ok = image.is_some();
         if image.is_none() {
             r.failed_members += 1;
         }
         r.images[member] = image;
         r.resolved += 1;
-        r.resolved == r.expected
+        (r.resolved == r.expected, r.vc, ok)
     };
+    sim.emit(Event::Lsc(LscEvent::SaveAcked {
+        run: run_id,
+        vc: vc_id.0,
+        member: member as u32,
+        ok,
+    }));
     if save_phase_complete {
         on_all_saves_resolved(sim, run_id);
     }
@@ -694,11 +725,22 @@ fn member_resolved(
 
 fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
     let now = sim.now();
-    let (ok, method, vc_id) = {
+    let (ok, method, vc_id, skew) = {
         let r = runs(sim).runs.get_mut(&run_id).expect("run");
         r.save_done_at = Some(now);
-        (r.failed_members == 0, r.method, r.vc)
+        (
+            r.failed_members == 0,
+            r.method,
+            r.vc,
+            skew_of(&r.pause_times),
+        )
     };
+    sim.emit(Event::Lsc(LscEvent::WindowClosed {
+        run: run_id,
+        vc: vc_id.0,
+        skew,
+        stored: ok,
+    }));
     if !ok {
         if method.is_hardened() {
             // Don't leave the survivors paused bleeding their peers' TCP
@@ -707,11 +749,7 @@ fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
             if let Some(r) = runs(sim).runs.get_mut(&run_id) {
                 r.save_ok = false;
             }
-            sim_trace!(
-                sim,
-                "lsc",
-                "save phase failed; resuming members without storing a set"
-            );
+            sim.emit(Event::Lsc(LscEvent::SavePhaseFailed));
             coordinated_resume(sim, run_id);
         } else {
             finish_run(sim, run_id, false, "one or more VM saves failed".into());
@@ -738,6 +776,11 @@ fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
             images,
             pause_skew: skew,
         });
+        sim.emit(Event::Lsc(LscEvent::SetStored {
+            vc: vc_id.0,
+            set: id,
+            skew,
+        }));
         id
     };
     sim.world
@@ -1005,6 +1048,11 @@ fn finish_run(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: S
         v.state = VcState::Up;
     }
     runs(sim).runs.remove(&run_id);
+    sim.emit(Event::Lsc(LscEvent::RunFinished {
+        run: run_id,
+        vc: outcome.vc.0,
+        success,
+    }));
     if let Some(cb) = cb {
         cb(sim, outcome);
     }

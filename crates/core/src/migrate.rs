@@ -28,7 +28,7 @@ use crate::vc::{self, VcId, VcState};
 use dvc_cluster::glue;
 use dvc_cluster::node::NodeId;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{Sim, SimDuration, SimTime};
+use dvc_sim_core::{Event, Sim, SimDuration, SimTime, VmmEvent};
 use dvc_vmm::migrate::{plan_precopy, PrecopyParams};
 use dvc_vmm::VmImage;
 use std::collections::HashMap;
@@ -213,6 +213,7 @@ fn cutover_one(
         return;
     }
     glue::pause_vm(sim, vm);
+    sim.emit(Event::Vmm(VmmEvent::MigrateCutover { vm: vm.0 }));
     let now = sim.now();
     let image = sim.world.vm_mut(vm).unwrap().snapshot(now);
     {

@@ -12,7 +12,7 @@ use crate::vc::{self, VcId};
 use dvc_cluster::node::NodeId;
 use dvc_cluster::ntp;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{sim_trace, Sim, SimDuration};
+use dvc_sim_core::{Event, NtpEvent, Sim, SimDuration};
 use dvc_vmm::VmState;
 use std::collections::HashMap;
 
@@ -200,11 +200,7 @@ fn checkpoint_now(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
         }
     }
     if degraded {
-        sim_trace!(
-            sim,
-            "rel",
-            "{vc_id:?}: NTP sync stale, clock-free checkpoint"
-        );
+        sim.emit(Event::Ntp(NtpEvent::SyncStale { vc: vc_id.0 }));
     }
     lsc::checkpoint_vc(sim, vc_id, method, move |sim, outcome| {
         if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {
@@ -281,11 +277,7 @@ fn schedule_ckpt_tick(sim: &mut Sim<ClusterWorld>, vc_id: VcId) {
             }
         }
         if degraded {
-            sim_trace!(
-                sim,
-                "rel",
-                "{vc_id:?}: NTP sync stale, clock-free checkpoint"
-            );
+            sim.emit(Event::Ntp(NtpEvent::SyncStale { vc: vc_id.0 }));
         }
         lsc::checkpoint_vc(sim, vc_id, method, move |sim, outcome| {
             if let Some(st) = mgrs(sim).0.get_mut(&vc_id) {

@@ -77,7 +77,7 @@ pub enum VcState {
 pub struct VirtualCluster {
     pub id: VcId,
     pub spec: VcSpec,
-    /// vnode i ↔ vms[i]; identity is stable across migrations.
+    /// vnode i ↔ `vms[i]`; identity is stable across migrations.
     pub vms: Vec<VmId>,
     /// Current physical placement of vnode i.
     pub hosts: Vec<NodeId>,
@@ -136,7 +136,7 @@ pub struct CheckpointSet {
     pub id: u64,
     pub vc: VcId,
     pub taken_at: SimTime,
-    /// Image of vnode i at images[i].
+    /// Image of vnode i at `images[i]`.
     pub images: Vec<VmImage>,
     /// Pause-time spread observed while taking the set (diagnostics).
     pub pause_skew: SimDuration,

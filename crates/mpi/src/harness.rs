@@ -10,13 +10,13 @@ use crate::runtime::MpiRuntime;
 use dvc_cluster::glue::{create_vm, spawn_proc};
 use dvc_cluster::node::NodeId;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{Sim, SimTime};
+use dvc_sim_core::{Event, MpiEvent, Sim, SimTime};
 use dvc_vmm::VmId;
 
 /// A launched MPI job.
 #[derive(Clone, Debug)]
 pub struct MpiJob {
-    /// vms[i] hosts rank i.
+    /// `vms[i]` hosts rank i.
     pub vms: Vec<VmId>,
     pub size: usize,
 }
@@ -50,6 +50,9 @@ pub fn launch(
         let rt = MpiRuntime::new(rank, n_ranks, map.clone(), gflops, ops, data);
         spawn_proc(sim, vm, format!("rank{rank}"), Box::new(rt));
     }
+    sim.emit(Event::Mpi(MpiEvent::JobLaunched {
+        ranks: n_ranks as u32,
+    }));
     MpiJob { vms, size: n_ranks }
 }
 
@@ -73,6 +76,9 @@ pub fn launch_on_vms(
         let rt = MpiRuntime::new(rank, n_ranks, map.clone(), gflops, ops, data);
         spawn_proc(sim, vm, format!("rank{rank}"), Box::new(rt));
     }
+    sim.emit(Event::Mpi(MpiEvent::JobLaunched {
+        ranks: n_ranks as u32,
+    }));
     MpiJob {
         vms: vms.to_vec(),
         size: n_ranks,
@@ -109,6 +115,9 @@ pub fn launch_hinted(
             .with_peer_hint(hint(rank, n_ranks));
         spawn_proc(sim, vm, format!("rank{rank}"), Box::new(rt));
     }
+    sim.emit(Event::Mpi(MpiEvent::JobLaunched {
+        ranks: n_ranks as u32,
+    }));
     MpiJob { vms, size: n_ranks }
 }
 

@@ -171,6 +171,35 @@ pub enum StackOutput {
     Event(SockId, SockEvent),
 }
 
+/// A transport anomaly noted by the stack for the host layer to surface on
+/// the typed observability spine (see `dvc-sim-core`'s `Event::Tcp`). The
+/// stack itself is host-agnostic and clock-driven, so it cannot emit events
+/// directly; it appends notes to a small bounded buffer that the glue
+/// drains with [`TcpStack::take_notes`] after every entry-point call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpNote {
+    Retransmit,
+    FastRetransmit,
+    /// A retransmission timer expired (one RTO backoff round).
+    RtoFired,
+    ZeroWindowProbe,
+    KeepaliveProbe,
+    ConnAborted,
+}
+
+/// Bound on buffered [`TcpNote`]s between drains. Anomalies are rare (loss,
+/// probes, aborts — never per-segment), so hosts that drain after every
+/// call never come close; stacks driven without a draining host (unit
+/// tests) simply stop noting at the cap instead of growing without bound.
+const NOTES_CAP: usize = 256;
+
+#[inline]
+fn push_note(notes: &mut Vec<TcpNote>, n: TcpNote) {
+    if notes.len() < NOTES_CAP {
+        notes.push(n);
+    }
+}
+
 /// Aggregate stack counters.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct TcpCounters {
@@ -320,6 +349,8 @@ pub struct TcpStack {
     /// Outputs pending drain by the host glue.
     pub out: Vec<StackOutput>,
     pub counters: TcpCounters,
+    /// Transport anomalies pending drain (see [`TcpNote`]).
+    notes: Vec<TcpNote>,
 }
 
 impl TcpStack {
@@ -336,7 +367,19 @@ impl TcpStack {
             isn: 10_000,
             out: Vec::new(),
             counters: TcpCounters::default(),
+            notes: Vec::new(),
         }
+    }
+
+    /// True when transport anomalies are waiting to be drained.
+    pub fn has_notes(&self) -> bool {
+        !self.notes.is_empty()
+    }
+
+    /// Drain the pending [`TcpNote`]s (host glue calls this after every
+    /// entry point and surfaces them as typed events).
+    pub fn take_notes(&mut self) -> Vec<TcpNote> {
+        std::mem::take(&mut self.notes)
     }
 
     pub fn config(&self) -> &TcpConfig {
@@ -706,11 +749,13 @@ impl TcpStack {
         s.ka_deadline = Some(now + cfg.keepalive_interval_ns);
         let seq = s.snd_una.wrapping_sub(1);
         self.counters.keepalive_probes += 1;
+        push_note(&mut self.notes, TcpNote::KeepaliveProbe);
         self.emit_segment(sock, seq, TcpFlags::ACK, Bytes::new());
     }
 
     fn on_rtx_expiry(&mut self, now: LocalNs, sock: SockId) {
         self.counters.timeouts += 1;
+        push_note(&mut self.notes, TcpNote::RtoFired);
         let cfg = self.cfg;
         let Some(s) = self.sockets.get_mut(&sock) else {
             return;
@@ -720,6 +765,7 @@ impl TcpStack {
                 if s.retries >= cfg.max_syn_retries {
                     s.error = Some(TcpError::ConnectTimeout);
                     self.counters.conns_aborted += 1;
+                    push_note(&mut self.notes, TcpNote::ConnAborted);
                     self.push_event(sock, SockEvent::Failed(TcpError::ConnectTimeout));
                     self.destroy(sock);
                     return;
@@ -729,6 +775,7 @@ impl TcpStack {
                 s.rtx_deadline = Some(now + s.rto_ns);
                 let isn = s.snd_una;
                 self.counters.retransmits += 1;
+                push_note(&mut self.notes, TcpNote::Retransmit);
                 self.emit_segment(sock, isn, TcpFlags::SYN, Bytes::new());
             }
             TcpState::SynReceived => {
@@ -741,6 +788,7 @@ impl TcpStack {
                 s.rtx_deadline = Some(now + s.rto_ns);
                 let isn = s.snd_una;
                 self.counters.retransmits += 1;
+                push_note(&mut self.notes, TcpNote::Retransmit);
                 self.emit_segment(sock, isn, TcpFlags::SYN_ACK, Bytes::new());
             }
             TcpState::Established
@@ -765,6 +813,7 @@ impl TcpStack {
                 }
                 if s.probing {
                     self.counters.zero_window_probes += 1;
+                    push_note(&mut self.notes, TcpNote::ZeroWindowProbe);
                     self.send_window_probe(sock);
                 } else {
                     // Go-back-N (classic BSD): everything beyond the head may
@@ -781,6 +830,7 @@ impl TcpStack {
                         s.snd_nxt = s.snd_una.wrapping_add(head);
                     }
                     self.counters.retransmits += 1;
+                    push_note(&mut self.notes, TcpNote::Retransmit);
                     self.retransmit_head(sock);
                 }
             }
@@ -807,6 +857,7 @@ impl TcpStack {
 
     fn abort_with(&mut self, _now: LocalNs, sock: SockId, err: TcpError) {
         self.counters.conns_aborted += 1;
+        push_note(&mut self.notes, TcpNote::ConnAborted);
         if let Some(s) = self.sockets.get_mut(&sock) {
             s.error = Some(err);
             s.state = TcpState::Closed;
@@ -1103,6 +1154,7 @@ impl TcpStack {
             s.time_wait_deadline = None;
             let ev = SockEvent::Failed(TcpError::Reset);
             self.counters.conns_aborted += 1;
+            push_note(&mut self.notes, TcpNote::ConnAborted);
             if let Some((raddr, rport)) = s.remote {
                 let lport = s.local_port;
                 self.conns.remove(&(lport, raddr, rport));
@@ -1327,6 +1379,7 @@ impl TcpStack {
                     }
                     s.rtt_probe = None;
                     self.counters.fast_retransmits += 1;
+                    push_note(&mut self.notes, TcpNote::FastRetransmit);
                     self.retransmit_head(sock);
                     if let Some(s) = self.sockets.get_mut(&sock) {
                         s.rtx_deadline = Some(now + s.rto_ns);

@@ -15,9 +15,9 @@
 use crate::addr::{Addr, NicId, PhysAddr};
 use crate::fabric::{self, Fabric, LinkParams, NetWorld};
 use crate::packet::{Packet, L4};
-use crate::tcp::{LocalNs, SockEvent, SockId, StackOutput, TcpConfig, TcpStack};
+use crate::tcp::{LocalNs, SockEvent, SockId, StackOutput, TcpConfig, TcpNote, TcpStack};
 use crate::udp::UdpStack;
-use dvc_sim_core::{EventHandle, Sim, SimTime};
+use dvc_sim_core::{EventHandle, Sim, SimTime, TcpEvent};
 
 /// A one-shot packet filter: drops up to `remaining` packets matching `pred`.
 pub struct DropRule {
@@ -157,6 +157,22 @@ pub fn drain(sim: &mut Sim<TestWorld>, h: usize) {
         }
         for p in udp_out {
             fabric::send(sim, p);
+        }
+    }
+    // Surface noted transport anomalies on the typed event spine, exactly
+    // like the cluster glue does for guest stacks (`ep` = host index here).
+    if sim.world.hosts[h].tcp.has_notes() {
+        let notes = sim.world.hosts[h].tcp.take_notes();
+        let ep = h as u32;
+        for n in notes {
+            sim.emit(dvc_sim_core::Event::Tcp(match n {
+                TcpNote::Retransmit => TcpEvent::Retransmit { ep },
+                TcpNote::FastRetransmit => TcpEvent::FastRetransmit { ep },
+                TcpNote::RtoFired => TcpEvent::RtoFired { ep },
+                TcpNote::ZeroWindowProbe => TcpEvent::ZeroWindowProbe { ep },
+                TcpNote::KeepaliveProbe => TcpEvent::KeepaliveProbe { ep },
+                TcpNote::ConnAborted => TcpEvent::ConnAborted { ep },
+            }));
         }
     }
     rearm_timer(sim, h);

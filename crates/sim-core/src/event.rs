@@ -1,0 +1,795 @@
+//! Typed observability events — the structured spine behind the string trace.
+//!
+//! Every model layer emits [`Event`]s through [`crate::Sim::emit`] instead of
+//! formatting strings at the call site. One emission fans out three ways:
+//!
+//! * the [`crate::Metrics`] registry counts the event by [`Event::key`] and
+//!   feeds its measurement (if any) into a log-scale histogram;
+//! * the legacy string [`crate::trace::Trace`] receives the [`std::fmt::Display`]
+//!   rendering — but **only** for events that were traced before the spine
+//!   existed ([`Event::trace_category`] returns `Some`), so ring contents,
+//!   category counts and campaign summaries are byte-identical to the
+//!   `sim_trace!` era;
+//! * every attached [`crate::EventSink`] observes the typed value, which is
+//!   how invariant checkers and exporters subscribe without the emitting
+//!   layer knowing.
+//!
+//! Identifiers are deliberately raw integers (`vm`/`node`/`vc` as `u32`,
+//! `run`/`set`/`job` as `u64`): `dvc-sim-core` sits below the crates that
+//! define `VmId`/`NodeId`/`VcId`, and the spine must not invert the crate
+//! DAG. The `Display` impl re-creates the upper layers' debug renderings
+//! (`VmId(2)`, `NodeId(3)`, `p4`…) where the legacy trace used them.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A structured observability event. See the module docs for routing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    Tcp(TcpEvent),
+    Vmm(VmmEvent),
+    Lsc(LscEvent),
+    Rm(RmEvent),
+    Storage(StorageEvent),
+    Fault(FaultEvent),
+    Ntp(NtpEvent),
+    Mpi(MpiEvent),
+}
+
+/// Transport anomalies, surfaced from the per-guest TCP stacks when the
+/// host layer drains them. `ep` is the emitting endpoint: a `VmId` index in
+/// cluster worlds, a host index in net-level test worlds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpEvent {
+    Retransmit {
+        ep: u32,
+    },
+    FastRetransmit {
+        ep: u32,
+    },
+    /// A retransmission timer expired (RTO backoff round).
+    RtoFired {
+        ep: u32,
+    },
+    ZeroWindowProbe {
+        ep: u32,
+    },
+    KeepaliveProbe {
+        ep: u32,
+    },
+    ConnAborted {
+        ep: u32,
+    },
+}
+
+/// Hypervisor-side lifecycle events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmmEvent {
+    SnapshotBegin {
+        vm: u32,
+    },
+    SnapshotEnd {
+        vm: u32,
+        bytes: u64,
+    },
+    /// Dirty-page census at snapshot time (before the dirty set resets).
+    PagesDirty {
+        vm: u32,
+        dirty: u64,
+        total: u64,
+    },
+    /// Live migration entered its stop-and-copy cutover for this VM.
+    MigrateCutover {
+        vm: u32,
+    },
+}
+
+/// Coordinated-checkpoint (LSC) lifecycle events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LscEvent {
+    /// The coordinator dispatched a save arm to one member.
+    ArmSent { run: u64, vc: u32, member: u32 },
+    /// A member's guest actually paused and its image was captured.
+    SaveFired {
+        run: u64,
+        vc: u32,
+        member: u32,
+        vm: u32,
+    },
+    /// A member's save resolved (image persisted or definitively lost).
+    SaveAcked {
+        run: u64,
+        vc: u32,
+        member: u32,
+        ok: bool,
+    },
+    /// Legacy `"lsc"` trace: a stored image failed checksum; re-saving.
+    ChecksumResave { vm: u32, attempt: u32 },
+    /// Legacy `"lsc"` trace: retries exhausted, the image stays corrupt.
+    ChecksumGiveUp { vm: u32, retries: u32 },
+    /// Legacy `"lsc"` trace: the save phase failed; members resume unsaved.
+    SavePhaseFailed,
+    /// The save window closed: every member resolved. `skew` is the spread
+    /// of the members' pause instants; `stored` whether a set was kept.
+    WindowClosed {
+        run: u64,
+        vc: u32,
+        skew: SimDuration,
+        stored: bool,
+    },
+    /// A checkpoint set entered the store.
+    SetStored {
+        vc: u32,
+        set: u64,
+        skew: SimDuration,
+    },
+    /// A hardened coordinator aborted the attempt pre-fire and re-armed.
+    AbortReArm { run: u64, vc: u32, attempt: u32 },
+    /// The whole run (save + resume) finished.
+    RunFinished { run: u64, vc: u32, success: bool },
+}
+
+/// Resource-manager and node-liveness events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RmEvent {
+    JobQueued {
+        job: u64,
+    },
+    JobStarted {
+        job: u64,
+        nodes: Vec<u32>,
+    },
+    JobCompleted {
+        job: u64,
+        success: bool,
+    },
+    /// EASY backfill computed the blocked head job's shadow time.
+    BackfillReservation {
+        head_job: u64,
+        shadow: SimTime,
+    },
+    /// A queued job was started out of order by backfill.
+    BackfillStarted {
+        job: u64,
+    },
+    NodeDown {
+        node: u32,
+    },
+    NodeUp {
+        node: u32,
+    },
+}
+
+/// Shared-storage data-path events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageEvent {
+    /// Legacy `"fault"` trace: a transfer failed terminally.
+    TransferFailed { bytes: u64 },
+    /// Legacy `"fault"` trace: a failed transfer is being retried.
+    TransferRetry {
+        attempt: u32,
+        max_attempts: u32,
+        bytes: u64,
+        backoff: SimDuration,
+    },
+    /// Legacy `"fault"` trace: a checkpoint image was lost to storage.
+    SaveLost { vm: u32 },
+    /// Legacy `"fault"` trace: a stored image was silently corrupted.
+    ChecksumFail { vm: u32 },
+}
+
+/// Fault-plane events (injections and environment boundary crossings).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A seeded fault fired; `what` is the fault-plan kind key.
+    Injected { what: &'static str },
+    /// Legacy `"fault"` trace: storage brownout window opened.
+    BrownoutBegin { factor: f64 },
+    /// Legacy `"fault"` trace: storage brownout window closed.
+    BrownoutEnd,
+    /// Legacy `"fault"` trace: a host clock was stepped.
+    ClockStep { node: u32, step_s: f64 },
+    /// Legacy `"fault"` trace: a control message was dropped.
+    CtrlDropped { node: u32 },
+    /// Legacy `"fault"` trace: a control message was lost to a partition
+    /// (`in_flight` distinguishes the loss at send vs. in transit).
+    CtrlPartitioned { node: u32, in_flight: bool },
+}
+
+/// Time-synchronisation events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NtpEvent {
+    /// Legacy `"fault"` trace: an NTP request was consumed by a server
+    /// outage. `phys` selects the `p{host}`/`v{host}` address family.
+    Unanswered { phys: bool, host: u32 },
+    /// Legacy `"rel"` trace: sync too stale, degrading to clock-free.
+    SyncStale { vc: u32 },
+}
+
+/// MPI harness events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpiEvent {
+    JobLaunched { ranks: u32 },
+}
+
+impl Event {
+    /// Stable dotted taxonomy key (`"layer.event"`) used to name metrics
+    /// counters and JSONL records.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Event::Tcp(e) => match e {
+                TcpEvent::Retransmit { .. } => "tcp.retransmit",
+                TcpEvent::FastRetransmit { .. } => "tcp.fast_retransmit",
+                TcpEvent::RtoFired { .. } => "tcp.rto_fired",
+                TcpEvent::ZeroWindowProbe { .. } => "tcp.zero_window_probe",
+                TcpEvent::KeepaliveProbe { .. } => "tcp.keepalive_probe",
+                TcpEvent::ConnAborted { .. } => "tcp.conn_aborted",
+            },
+            Event::Vmm(e) => match e {
+                VmmEvent::SnapshotBegin { .. } => "vmm.snapshot_begin",
+                VmmEvent::SnapshotEnd { .. } => "vmm.snapshot_end",
+                VmmEvent::PagesDirty { .. } => "vmm.pages_dirty",
+                VmmEvent::MigrateCutover { .. } => "vmm.migrate_cutover",
+            },
+            Event::Lsc(e) => match e {
+                LscEvent::ArmSent { .. } => "lsc.arm_sent",
+                LscEvent::SaveFired { .. } => "lsc.save_fired",
+                LscEvent::SaveAcked { .. } => "lsc.save_acked",
+                LscEvent::ChecksumResave { .. } => "lsc.checksum_resave",
+                LscEvent::ChecksumGiveUp { .. } => "lsc.checksum_give_up",
+                LscEvent::SavePhaseFailed => "lsc.save_phase_failed",
+                LscEvent::WindowClosed { .. } => "lsc.window_closed",
+                LscEvent::SetStored { .. } => "lsc.set_stored",
+                LscEvent::AbortReArm { .. } => "lsc.abort_rearm",
+                LscEvent::RunFinished { .. } => "lsc.run_finished",
+            },
+            Event::Rm(e) => match e {
+                RmEvent::JobQueued { .. } => "rm.job_queued",
+                RmEvent::JobStarted { .. } => "rm.job_started",
+                RmEvent::JobCompleted { .. } => "rm.job_completed",
+                RmEvent::BackfillReservation { .. } => "rm.backfill_reservation",
+                RmEvent::BackfillStarted { .. } => "rm.backfill_started",
+                RmEvent::NodeDown { .. } => "rm.node_down",
+                RmEvent::NodeUp { .. } => "rm.node_up",
+            },
+            Event::Storage(e) => match e {
+                StorageEvent::TransferFailed { .. } => "storage.transfer_failed",
+                StorageEvent::TransferRetry { .. } => "storage.transfer_retry",
+                StorageEvent::SaveLost { .. } => "storage.save_lost",
+                StorageEvent::ChecksumFail { .. } => "storage.checksum_fail",
+            },
+            Event::Fault(e) => match e {
+                FaultEvent::Injected { .. } => "fault.injected",
+                FaultEvent::BrownoutBegin { .. } => "fault.brownout_begin",
+                FaultEvent::BrownoutEnd => "fault.brownout_end",
+                FaultEvent::ClockStep { .. } => "fault.clock_step",
+                FaultEvent::CtrlDropped { .. } => "fault.ctrl_dropped",
+                FaultEvent::CtrlPartitioned { .. } => "fault.ctrl_partitioned",
+            },
+            Event::Ntp(e) => match e {
+                NtpEvent::Unanswered { .. } => "ntp.unanswered",
+                NtpEvent::SyncStale { .. } => "ntp.sync_stale",
+            },
+            Event::Mpi(e) => match e {
+                MpiEvent::JobLaunched { .. } => "mpi.job_launched",
+            },
+        }
+    }
+
+    /// The legacy string-trace category this event used to be emitted under,
+    /// or `None` for events born typed. Routing only `Some` events into
+    /// [`crate::trace::Trace`] keeps ring contents and campaign summaries
+    /// byte-identical to the `sim_trace!` era.
+    pub fn trace_category(&self) -> Option<&'static str> {
+        match self {
+            Event::Storage(_) => Some("fault"),
+            Event::Fault(FaultEvent::Injected { .. }) => None,
+            Event::Fault(_) => Some("fault"),
+            Event::Ntp(NtpEvent::Unanswered { .. }) => Some("fault"),
+            Event::Ntp(NtpEvent::SyncStale { .. }) => Some("rel"),
+            Event::Lsc(
+                LscEvent::ChecksumResave { .. }
+                | LscEvent::ChecksumGiveUp { .. }
+                | LscEvent::SavePhaseFailed,
+            ) => Some("lsc"),
+            _ => None,
+        }
+    }
+
+    /// The measurement this event contributes to a log-scale histogram, if
+    /// any: `(histogram key, value)`.
+    pub fn measure(&self) -> Option<(&'static str, f64)> {
+        match self {
+            Event::Vmm(VmmEvent::SnapshotEnd { bytes, .. }) => {
+                Some(("vmm.snapshot_bytes", *bytes as f64))
+            }
+            Event::Vmm(VmmEvent::PagesDirty { dirty, .. }) => {
+                Some(("vmm.dirty_pages", *dirty as f64))
+            }
+            Event::Lsc(LscEvent::WindowClosed { skew, .. }) => {
+                Some(("lsc.pause_skew_ns", skew.nanos() as f64))
+            }
+            Event::Storage(StorageEvent::TransferRetry { backoff, .. }) => {
+                Some(("storage.retry_backoff_ns", backoff.nanos() as f64))
+            }
+            _ => None,
+        }
+    }
+
+    /// One JSONL record for this event: `{"t":…,"key":…,fields…}`. Field
+    /// names mirror the variant fields; no escaping is needed because every
+    /// serialized value is numeric or a static identifier.
+    pub fn jsonl(&self, t: SimTime) -> String {
+        use std::fmt::Write;
+        let mut s = format!("{{\"t\":{},\"key\":\"{}\"", t.nanos(), self.key());
+        match self {
+            Event::Tcp(
+                TcpEvent::Retransmit { ep }
+                | TcpEvent::FastRetransmit { ep }
+                | TcpEvent::RtoFired { ep }
+                | TcpEvent::ZeroWindowProbe { ep }
+                | TcpEvent::KeepaliveProbe { ep }
+                | TcpEvent::ConnAborted { ep },
+            ) => {
+                let _ = write!(s, ",\"ep\":{ep}");
+            }
+            Event::Vmm(e) => match e {
+                VmmEvent::SnapshotBegin { vm } | VmmEvent::MigrateCutover { vm } => {
+                    let _ = write!(s, ",\"vm\":{vm}");
+                }
+                VmmEvent::SnapshotEnd { vm, bytes } => {
+                    let _ = write!(s, ",\"vm\":{vm},\"bytes\":{bytes}");
+                }
+                VmmEvent::PagesDirty { vm, dirty, total } => {
+                    let _ = write!(s, ",\"vm\":{vm},\"dirty\":{dirty},\"total\":{total}");
+                }
+            },
+            Event::Lsc(e) => match e {
+                LscEvent::ArmSent { run, vc, member } => {
+                    let _ = write!(s, ",\"run\":{run},\"vc\":{vc},\"member\":{member}");
+                }
+                LscEvent::SaveFired {
+                    run,
+                    vc,
+                    member,
+                    vm,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"run\":{run},\"vc\":{vc},\"member\":{member},\"vm\":{vm}"
+                    );
+                }
+                LscEvent::SaveAcked {
+                    run,
+                    vc,
+                    member,
+                    ok,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"run\":{run},\"vc\":{vc},\"member\":{member},\"ok\":{ok}"
+                    );
+                }
+                LscEvent::ChecksumResave { vm, attempt } => {
+                    let _ = write!(s, ",\"vm\":{vm},\"attempt\":{attempt}");
+                }
+                LscEvent::ChecksumGiveUp { vm, retries } => {
+                    let _ = write!(s, ",\"vm\":{vm},\"retries\":{retries}");
+                }
+                LscEvent::SavePhaseFailed => {}
+                LscEvent::WindowClosed {
+                    run,
+                    vc,
+                    skew,
+                    stored,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"run\":{run},\"vc\":{vc},\"skew_ns\":{},\"stored\":{stored}",
+                        skew.nanos()
+                    );
+                }
+                LscEvent::SetStored { vc, set, skew } => {
+                    let _ = write!(s, ",\"vc\":{vc},\"set\":{set},\"skew_ns\":{}", skew.nanos());
+                }
+                LscEvent::AbortReArm { run, vc, attempt } => {
+                    let _ = write!(s, ",\"run\":{run},\"vc\":{vc},\"attempt\":{attempt}");
+                }
+                LscEvent::RunFinished { run, vc, success } => {
+                    let _ = write!(s, ",\"run\":{run},\"vc\":{vc},\"success\":{success}");
+                }
+            },
+            Event::Rm(e) => match e {
+                RmEvent::JobQueued { job } | RmEvent::BackfillStarted { job } => {
+                    let _ = write!(s, ",\"job\":{job}");
+                }
+                RmEvent::JobStarted { job, nodes } => {
+                    let _ = write!(s, ",\"job\":{job},\"nodes\":[");
+                    for (i, n) in nodes.iter().enumerate() {
+                        let _ = write!(s, "{}{n}", if i > 0 { "," } else { "" });
+                    }
+                    s.push(']');
+                }
+                RmEvent::JobCompleted { job, success } => {
+                    let _ = write!(s, ",\"job\":{job},\"success\":{success}");
+                }
+                RmEvent::BackfillReservation { head_job, shadow } => {
+                    let _ = write!(s, ",\"head_job\":{head_job},\"shadow\":{}", shadow.nanos());
+                }
+                RmEvent::NodeDown { node } | RmEvent::NodeUp { node } => {
+                    let _ = write!(s, ",\"node\":{node}");
+                }
+            },
+            Event::Storage(e) => match e {
+                StorageEvent::TransferFailed { bytes } => {
+                    let _ = write!(s, ",\"bytes\":{bytes}");
+                }
+                StorageEvent::TransferRetry {
+                    attempt,
+                    max_attempts,
+                    bytes,
+                    backoff,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"attempt\":{attempt},\"max\":{max_attempts},\"bytes\":{bytes},\"backoff_ns\":{}",
+                        backoff.nanos()
+                    );
+                }
+                StorageEvent::SaveLost { vm } | StorageEvent::ChecksumFail { vm } => {
+                    let _ = write!(s, ",\"vm\":{vm}");
+                }
+            },
+            Event::Fault(e) => match e {
+                FaultEvent::Injected { what } => {
+                    let _ = write!(s, ",\"what\":\"{what}\"");
+                }
+                FaultEvent::BrownoutBegin { factor } => {
+                    let _ = write!(s, ",\"factor\":{factor}");
+                }
+                FaultEvent::BrownoutEnd => {}
+                FaultEvent::ClockStep { node, step_s } => {
+                    let _ = write!(s, ",\"node\":{node},\"step_s\":{step_s}");
+                }
+                FaultEvent::CtrlDropped { node } => {
+                    let _ = write!(s, ",\"node\":{node}");
+                }
+                FaultEvent::CtrlPartitioned { node, in_flight } => {
+                    let _ = write!(s, ",\"node\":{node},\"in_flight\":{in_flight}");
+                }
+            },
+            Event::Ntp(e) => match e {
+                NtpEvent::Unanswered { phys, host } => {
+                    let _ = write!(s, ",\"src\":\"{}{host}\"", if *phys { 'p' } else { 'v' });
+                }
+                NtpEvent::SyncStale { vc } => {
+                    let _ = write!(s, ",\"vc\":{vc}");
+                }
+            },
+            Event::Mpi(MpiEvent::JobLaunched { ranks }) => {
+                let _ = write!(s, ",\"ranks\":{ranks}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Event {
+    /// Human-readable rendering. For every variant with a `trace_category`,
+    /// this reproduces the legacy `sim_trace!` format string byte-for-byte
+    /// (including upper-layer debug forms like `VmId(2)` / `NodeId(3)` /
+    /// `p4`), so echoed traces and trace-derived digests are unchanged.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Tcp(e) => match e {
+                TcpEvent::Retransmit { ep } => write!(f, "tcp retransmit on ep{ep}"),
+                TcpEvent::FastRetransmit { ep } => write!(f, "tcp fast retransmit on ep{ep}"),
+                TcpEvent::RtoFired { ep } => write!(f, "tcp rto fired on ep{ep}"),
+                TcpEvent::ZeroWindowProbe { ep } => write!(f, "tcp zero-window probe on ep{ep}"),
+                TcpEvent::KeepaliveProbe { ep } => write!(f, "tcp keepalive probe on ep{ep}"),
+                TcpEvent::ConnAborted { ep } => write!(f, "tcp connection aborted on ep{ep}"),
+            },
+            Event::Vmm(e) => match e {
+                VmmEvent::SnapshotBegin { vm } => write!(f, "snapshot of VmId({vm}) begins"),
+                VmmEvent::SnapshotEnd { vm, bytes } => {
+                    write!(f, "snapshot of VmId({vm}) captured {bytes} B")
+                }
+                VmmEvent::PagesDirty { vm, dirty, total } => {
+                    write!(f, "VmId({vm}) has {dirty}/{total} pages dirty")
+                }
+                VmmEvent::MigrateCutover { vm } => {
+                    write!(f, "live migration cutover of VmId({vm})")
+                }
+            },
+            Event::Lsc(e) => match e {
+                LscEvent::ArmSent { run, vc, member } => {
+                    write!(f, "run {run}: arm sent to member {member} of VcId({vc})")
+                }
+                LscEvent::SaveFired {
+                    run,
+                    vc,
+                    member,
+                    vm,
+                } => write!(
+                    f,
+                    "run {run}: save fired for member {member} (VmId({vm})) of VcId({vc})"
+                ),
+                LscEvent::SaveAcked {
+                    run,
+                    vc,
+                    member,
+                    ok,
+                } => write!(
+                    f,
+                    "run {run}: save of member {member} of VcId({vc}) acked (ok={ok})"
+                ),
+                LscEvent::ChecksumResave { vm, attempt } => write!(
+                    f,
+                    "image of VmId({vm}) failed checksum; re-saving (attempt {attempt})"
+                ),
+                LscEvent::ChecksumGiveUp { vm, retries } => write!(
+                    f,
+                    "image of VmId({vm}) still corrupt after {retries} re-saves; giving up"
+                ),
+                LscEvent::SavePhaseFailed => {
+                    write!(
+                        f,
+                        "save phase failed; resuming members without storing a set"
+                    )
+                }
+                LscEvent::WindowClosed {
+                    run,
+                    vc,
+                    skew,
+                    stored,
+                } => write!(
+                    f,
+                    "run {run}: save window of VcId({vc}) closed, skew {skew}, stored={stored}"
+                ),
+                LscEvent::SetStored { vc, set, skew } => {
+                    write!(f, "set {set} of VcId({vc}) stored, pause skew {skew}")
+                }
+                LscEvent::AbortReArm { run, vc, attempt } => write!(
+                    f,
+                    "run {run}: attempt {attempt} on VcId({vc}) aborted; re-arming"
+                ),
+                LscEvent::RunFinished { run, vc, success } => {
+                    write!(f, "run {run} on VcId({vc}) finished (success={success})")
+                }
+            },
+            Event::Rm(e) => match e {
+                RmEvent::JobQueued { job } => write!(f, "job {job} queued"),
+                RmEvent::JobStarted { job, nodes } => {
+                    write!(f, "job {job} started on {} nodes", nodes.len())
+                }
+                RmEvent::JobCompleted { job, success } => {
+                    write!(f, "job {job} completed (success={success})")
+                }
+                RmEvent::BackfillReservation { head_job, shadow } => {
+                    write!(
+                        f,
+                        "backfill reservation for head job {head_job} at {shadow}"
+                    )
+                }
+                RmEvent::BackfillStarted { job } => write!(f, "job {job} backfilled"),
+                RmEvent::NodeDown { node } => write!(f, "NodeId({node}) down"),
+                RmEvent::NodeUp { node } => write!(f, "NodeId({node}) up"),
+            },
+            Event::Storage(e) => match e {
+                StorageEvent::TransferFailed { bytes } => {
+                    write!(f, "storage transfer of {bytes} B failed")
+                }
+                StorageEvent::TransferRetry {
+                    attempt,
+                    max_attempts,
+                    bytes,
+                    backoff,
+                } => write!(
+                    f,
+                    "storage retry {attempt}/{max_attempts} for {bytes} B after {backoff}"
+                ),
+                StorageEvent::SaveLost { vm } => {
+                    write!(f, "save of VmId({vm}) lost to storage failure")
+                }
+                StorageEvent::ChecksumFail { vm } => {
+                    write!(f, "stored image of VmId({vm}) silently corrupted")
+                }
+            },
+            Event::Fault(e) => match e {
+                FaultEvent::Injected { what } => write!(f, "fault injected: {what}"),
+                FaultEvent::BrownoutBegin { factor } => {
+                    write!(f, "storage brownout begins: ×{factor:.2}")
+                }
+                FaultEvent::BrownoutEnd => write!(f, "storage brownout ends"),
+                FaultEvent::ClockStep { node, step_s } => {
+                    write!(f, "clock on NodeId({node}) stepped by {step_s:+.3} s")
+                }
+                FaultEvent::CtrlDropped { node } => {
+                    write!(f, "control msg to NodeId({node}) dropped")
+                }
+                FaultEvent::CtrlPartitioned { node, in_flight } => {
+                    if *in_flight {
+                        write!(f, "control msg to NodeId({node}) lost in flight: partition")
+                    } else {
+                        write!(f, "control msg to NodeId({node}) lost: partition")
+                    }
+                }
+            },
+            Event::Ntp(e) => match e {
+                NtpEvent::Unanswered { phys, host } => write!(
+                    f,
+                    "ntp request from {}{host} unanswered: outage",
+                    if *phys { 'p' } else { 'v' }
+                ),
+                NtpEvent::SyncStale { vc } => {
+                    write!(f, "VcId({vc}): NTP sync stale, clock-free checkpoint")
+                }
+            },
+            Event::Mpi(MpiEvent::JobLaunched { ranks }) => {
+                write!(f, "mpi job launched with {ranks} ranks")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_trace_strings_are_byte_identical() {
+        // These literals are the exact `sim_trace!` format results the spine
+        // replaced; consumers (echo logs, trace digests) depend on them.
+        let cases: Vec<(Event, &str, &str)> = vec![
+            (
+                Event::Fault(FaultEvent::CtrlPartitioned {
+                    node: 3,
+                    in_flight: false,
+                }),
+                "control msg to NodeId(3) lost: partition",
+                "fault",
+            ),
+            (
+                Event::Fault(FaultEvent::CtrlPartitioned {
+                    node: 3,
+                    in_flight: true,
+                }),
+                "control msg to NodeId(3) lost in flight: partition",
+                "fault",
+            ),
+            (
+                Event::Fault(FaultEvent::CtrlDropped { node: 7 }),
+                "control msg to NodeId(7) dropped",
+                "fault",
+            ),
+            (
+                Event::Storage(StorageEvent::TransferFailed { bytes: 1024 }),
+                "storage transfer of 1024 B failed",
+                "fault",
+            ),
+            (
+                Event::Storage(StorageEvent::SaveLost { vm: 2 }),
+                "save of VmId(2) lost to storage failure",
+                "fault",
+            ),
+            (
+                Event::Storage(StorageEvent::ChecksumFail { vm: 2 }),
+                "stored image of VmId(2) silently corrupted",
+                "fault",
+            ),
+            (
+                Event::Fault(FaultEvent::BrownoutBegin { factor: 0.3 }),
+                "storage brownout begins: ×0.30",
+                "fault",
+            ),
+            (
+                Event::Fault(FaultEvent::BrownoutEnd),
+                "storage brownout ends",
+                "fault",
+            ),
+            (
+                Event::Fault(FaultEvent::ClockStep {
+                    node: 2,
+                    step_s: 6.0,
+                }),
+                "clock on NodeId(2) stepped by +6.000 s",
+                "fault",
+            ),
+            (
+                Event::Ntp(NtpEvent::Unanswered {
+                    phys: true,
+                    host: 4,
+                }),
+                "ntp request from p4 unanswered: outage",
+                "fault",
+            ),
+            (
+                Event::Lsc(LscEvent::ChecksumResave { vm: 5, attempt: 1 }),
+                "image of VmId(5) failed checksum; re-saving (attempt 1)",
+                "lsc",
+            ),
+            (
+                Event::Lsc(LscEvent::ChecksumGiveUp { vm: 5, retries: 3 }),
+                "image of VmId(5) still corrupt after 3 re-saves; giving up",
+                "lsc",
+            ),
+            (
+                Event::Lsc(LscEvent::SavePhaseFailed),
+                "save phase failed; resuming members without storing a set",
+                "lsc",
+            ),
+            (
+                Event::Ntp(NtpEvent::SyncStale { vc: 0 }),
+                "VcId(0): NTP sync stale, clock-free checkpoint",
+                "rel",
+            ),
+        ];
+        for (ev, want, cat) in cases {
+            assert_eq!(ev.to_string(), want, "display drifted for {:?}", ev.key());
+            assert_eq!(ev.trace_category(), Some(cat), "category of {:?}", ev.key());
+        }
+    }
+
+    #[test]
+    fn storage_retry_backoff_renders_like_simduration() {
+        let ev = Event::Storage(StorageEvent::TransferRetry {
+            attempt: 2,
+            max_attempts: 4,
+            bytes: 500,
+            backoff: SimDuration::from_secs_f64(1.0),
+        });
+        assert_eq!(
+            ev.to_string(),
+            format!(
+                "storage retry 2/4 for 500 B after {}",
+                SimDuration::from_secs_f64(1.0)
+            )
+        );
+    }
+
+    #[test]
+    fn new_events_are_not_string_traced() {
+        for ev in [
+            Event::Tcp(TcpEvent::Retransmit { ep: 1 }),
+            Event::Vmm(VmmEvent::SnapshotBegin { vm: 1 }),
+            Event::Lsc(LscEvent::ArmSent {
+                run: 1,
+                vc: 0,
+                member: 0,
+            }),
+            Event::Rm(RmEvent::JobQueued { job: 1 }),
+            Event::Fault(FaultEvent::Injected { what: "x" }),
+            Event::Mpi(MpiEvent::JobLaunched { ranks: 4 }),
+        ] {
+            assert_eq!(
+                ev.trace_category(),
+                None,
+                "{} must stay typed-only",
+                ev.key()
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_is_wellformed_and_keyed() {
+        let ev = Event::Lsc(LscEvent::SetStored {
+            vc: 0,
+            set: 3,
+            skew: SimDuration::from_secs(1),
+        });
+        let line = ev.jsonl(SimTime(42));
+        assert_eq!(
+            line,
+            "{\"t\":42,\"key\":\"lsc.set_stored\",\"vc\":0,\"set\":3,\"skew_ns\":1000000000}"
+        );
+        let nodes = Event::Rm(RmEvent::JobStarted {
+            job: 9,
+            nodes: vec![1, 2, 3],
+        });
+        assert_eq!(
+            nodes.jsonl(SimTime(1)),
+            "{\"t\":1,\"key\":\"rm.job_started\",\"job\":9,\"nodes\":[1,2,3]}"
+        );
+    }
+}

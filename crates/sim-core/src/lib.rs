@@ -17,11 +17,18 @@
 //! * [`trial`] — a data-parallel campaign runner that fans independent
 //!   simulation trials out across OS threads (each trial is single-threaded
 //!   and seeded, so campaigns are reproducible and embarrassingly parallel).
+//! * [`event`] / [`metrics`] / [`check`] — the typed observability spine:
+//!   structured [`Event`]s emitted via [`Sim::emit`], a [`Metrics`] registry
+//!   fed from them, and [`EventSink`] subscribers (invariant checkers, JSONL
+//!   export) that observe runs without perturbing them.
 //!
 //! Everything above this crate (network, hypervisor, MPI, DVC itself) is
 //! expressed as state inside `W` plus events scheduled on the same queue.
 
+pub mod check;
+pub mod event;
 pub mod faults;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -30,7 +37,12 @@ pub mod time;
 pub mod trace;
 pub mod trial;
 
+pub use check::{CheckCounts, InvariantChecker, JsonlSink};
+pub use event::{
+    Event, FaultEvent, LscEvent, MpiEvent, NtpEvent, RmEvent, StorageEvent, TcpEvent, VmmEvent,
+};
 pub use faults::{FaultPlan, FaultWindow};
+pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
 pub use rng::RngStreams;
-pub use sim::{EventHandle, Sim, SimStats};
+pub use sim::{EventHandle, EventSink, Sim, SimStats};
 pub use time::{SimDuration, SimTime};

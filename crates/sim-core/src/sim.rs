@@ -16,10 +16,38 @@
 //! dispatch and the caller-side staleness lookup for every stale pop.
 //! [`Sim::stats`] exposes the no-op ratio so that flood is visible.
 
+use crate::event::Event;
+use crate::metrics::Metrics;
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A subscriber on the typed event spine (see [`crate::event`]).
+///
+/// Sinks are attached to a [`Sim`] as `Rc<RefCell<…>>` so the caller keeps a
+/// handle and can read results (findings, collected lines) after the run:
+///
+/// ```ignore
+/// let checker = Rc::new(RefCell::new(InvariantChecker::new(budget)));
+/// sim.attach_sink(checker.clone());
+/// // … run …
+/// assert!(checker.borrow().is_clean());
+/// ```
+///
+/// `on_event` must be passive: it observes the stream but cannot reach back
+/// into the sim, so attaching a sink can never perturb scheduling, RNG
+/// draws, or any simulated outcome.
+pub trait EventSink {
+    fn on_event(&mut self, time: SimTime, event: &Event);
+
+    /// Human-readable findings accumulated so far (violations, summaries).
+    fn findings(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
 
 /// A handle to a scheduled event, usable with [`Sim::cancel`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -76,8 +104,11 @@ pub struct Sim<W> {
     pub rng: RngStreams,
     /// Event trace sink (disabled by default).
     pub trace: Trace,
+    /// Metrics registry fed by [`Sim::emit`] (disabled by default).
+    pub metrics: Metrics,
     /// The user world: every model layer keeps its state here.
     pub world: W,
+    sinks: Vec<Rc<RefCell<dyn EventSink>>>,
 }
 
 impl<W> Sim<W> {
@@ -89,7 +120,42 @@ impl<W> Sim<W> {
             stop_requested: false,
             rng: RngStreams::new(seed),
             trace: Trace::disabled(),
+            metrics: Metrics::disabled(),
             world,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Subscribe a sink to the typed event spine. The caller keeps its own
+    /// `Rc` handle to read results after the run (see [`EventSink`]).
+    pub fn attach_sink(&mut self, sink: Rc<RefCell<dyn EventSink>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Detach every sink (they stay alive through the callers' handles).
+    pub fn clear_sinks(&mut self) {
+        self.sinks.clear();
+    }
+
+    /// Emit a typed observability event (see [`crate::event`]). Fans out to
+    /// the metrics registry, the legacy string trace (only for events that
+    /// carry a [`Event::trace_category`], rendering their byte-identical
+    /// legacy message), and every attached sink. With everything disabled —
+    /// the default — this is a few branches, which is what keeps the spine
+    /// out of the hot path.
+    pub fn emit(&mut self, ev: Event) {
+        let traced = ev.trace_category().is_some_and(|c| self.trace.wants(c));
+        if !traced && self.sinks.is_empty() && !self.metrics.is_enabled() {
+            return;
+        }
+        let now = self.now;
+        self.metrics.record(&ev);
+        if traced {
+            let cat = ev.trace_category().expect("checked above");
+            self.trace.emit(now, cat, ev.to_string());
+        }
+        for s in &self.sinks {
+            s.borrow_mut().on_event(now, &ev);
         }
     }
 
@@ -321,6 +387,62 @@ mod tests {
         sim.run_to_completion(100);
         let seq: Vec<u64> = sim.world.log.iter().map(|&(i, _)| i).collect();
         assert_eq!(seq, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emit_routes_legacy_events_into_the_trace_byte_identically() {
+        use crate::event::{Event, FaultEvent};
+        let mut sim = Sim::new(World::default(), 1);
+        sim.trace = Trace::enabled(16).with_categories(&["fault"]);
+        sim.schedule_at(SimTime(100), |s| {
+            s.emit(Event::Fault(FaultEvent::CtrlDropped { node: 3 }));
+        });
+        sim.run_to_completion(10);
+        let recs: Vec<_> = sim.trace.records().collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].time, SimTime(100));
+        assert_eq!(recs[0].category, "fault");
+        assert_eq!(recs[0].message, "control msg to NodeId(3) dropped");
+    }
+
+    #[test]
+    fn emit_skips_the_trace_for_typed_only_events_but_feeds_sinks() {
+        use crate::event::{Event, RmEvent};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Recorder(Vec<(SimTime, &'static str)>);
+        impl EventSink for Recorder {
+            fn on_event(&mut self, time: SimTime, event: &Event) {
+                self.0.push((time, event.key()));
+            }
+        }
+
+        let mut sim = Sim::new(World::default(), 1);
+        sim.trace = Trace::enabled(16);
+        sim.metrics = Metrics::enabled();
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        sim.attach_sink(rec.clone());
+        sim.schedule_at(SimTime(5), |s| {
+            s.emit(Event::Rm(RmEvent::JobQueued { job: 7 }));
+        });
+        sim.run_to_completion(10);
+        assert!(
+            sim.trace.is_empty(),
+            "typed-only events must not hit the ring"
+        );
+        assert_eq!(sim.metrics.counter("rm.job_queued"), 1);
+        assert_eq!(rec.borrow().0, vec![(SimTime(5), "rm.job_queued")]);
+    }
+
+    #[test]
+    fn emit_with_everything_disabled_is_a_noop() {
+        use crate::event::{Event, TcpEvent};
+        let mut sim = Sim::new(World::default(), 1);
+        sim.emit(Event::Tcp(TcpEvent::Retransmit { ep: 0 }));
+        assert!(sim.trace.is_empty());
+        assert!(sim.metrics.snapshot().is_empty());
     }
 
     #[test]

@@ -40,6 +40,20 @@ impl CampaignSummary {
     pub fn total_events(&self) -> u64 {
         self.by_category.values().sum()
     }
+
+    /// An explicit warning line when the bounded trace rings evicted
+    /// records during the campaign — per-category counts above are still
+    /// exact (eviction drops retained records, not accounting), but any
+    /// per-record forensics would be working from an incomplete ring.
+    pub fn dropped_warning(&self) -> Option<String> {
+        (self.dropped > 0).then(|| {
+            format!(
+                "warning: trace rings evicted {} record(s) across {} trials; \
+                 raise `Trace` capacity or narrow its categories for full-fidelity rings",
+                self.dropped, self.trials
+            )
+        })
+    }
 }
 
 impl fmt::Display for CampaignSummary {
@@ -168,6 +182,9 @@ mod tests {
         let text = summary.to_string();
         assert!(text.contains("fault: 21"), "{text}");
         assert!(text.contains("dropped"), "{text}");
+        let warn = summary.dropped_warning().expect("rings evicted records");
+        assert!(warn.contains("evicted"), "{warn}");
+        assert_eq!(CampaignSummary::default().dropped_warning(), None);
     }
 
     #[test]
