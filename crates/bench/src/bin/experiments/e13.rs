@@ -163,6 +163,9 @@ fn one(seed: u64, x: f64, arm: Arm, check: bool, export: bool) -> TrialOut {
     let done = run_until(&mut sim, horizon, |sim| harness::all_done(sim, &job));
     let v = ring_verdict(&sim, &job);
     let rel = reliability::stats(&mut sim, vc_id);
+    // Fold the engine's own queue-health counters into the rollup.
+    let st = sim.stats();
+    sim.metrics.record_sim_stats(&st);
     TrialOut {
         success: done && v.alive && v.data_ok,
         completion_s: (sim.now() - t_start).as_secs_f64(),
@@ -186,6 +189,7 @@ pub fn run(opts: Opts) {
     let mut summary = CampaignSummary::default();
     let mut rollup = MetricsSnapshot::default();
     let mut exported: Option<Vec<String>> = None;
+    let mut exported_baseline: Option<Vec<String>> = None;
     let mut baseline_viol: Vec<String> = Vec::new();
     let mut hardened_viol: Vec<String> = Vec::new();
     let mut counts = CheckCounts::default();
@@ -205,9 +209,11 @@ pub fn run(opts: Opts) {
         ] {
             // Same seed base per severity: both arms face identical fault
             // schedules, so the gap is the pipeline, not luck.
-            // Export one full event stream: the first hardened trial at
-            // full severity (the richest stream the drill produces).
-            let export_here = arm == Arm::Hardened && x == 1.0;
+            // Export full event streams at full severity from both arms:
+            // the hardened trial is the richest stream the drill produces,
+            // the baseline one contains genuinely *failed* rounds (negative
+            // margin) for `dvc-trace waterfall` to dissect.
+            let export_here = x == 1.0;
             let rs = run_trials(
                 trials,
                 opts.seed ^ 0xE13 ^ (x * 100.0) as u64,
@@ -237,7 +243,10 @@ pub fn run(opts: Opts) {
                 sink.extend(r.violations.iter().map(|v| format!("x={x:.2}: {v}")));
             }
             if let Some(lines) = rs.iter().find_map(|r| r.jsonl.clone()) {
-                exported = Some(lines);
+                match arm {
+                    Arm::Baseline => exported_baseline = Some(lines),
+                    Arm::Hardened => exported = Some(lines),
+                }
             }
             t.row(&[
                 format!("{x:.2}"),
@@ -261,11 +270,18 @@ pub fn run(opts: Opts) {
         print!("{rollup}");
         println!("```");
     }
-    if let Some(lines) = &exported {
-        let path = "EVENTS_E13.jsonl";
+    for (lines, path, label) in [
+        (&exported, "EVENTS_E13.jsonl", "hardened arm"),
+        (
+            &exported_baseline,
+            "EVENTS_E13_BASELINE.jsonl",
+            "baseline arm",
+        ),
+    ] {
+        let Some(lines) = lines else { continue };
         match std::fs::write(path, lines.join("\n") + "\n") {
             Ok(()) => println!(
-                "\n_exported {} typed events (hardened arm, x=1.00, trial 0) to {path}_",
+                "\n_exported {} typed events ({label}, x=1.00, trial 0) to {path}_",
                 lines.len()
             ),
             Err(e) => eprintln!("e13: could not write {path}: {e}"),

@@ -84,6 +84,9 @@ pub fn run(opts: Opts) {
         let v = ring_verdict(&sim, &job);
         let cycle_fails =
             outs.iter().filter(|o| !o.success).count() + (cycles_per_world as usize - outs.len());
+        // Fold the engine's own queue-health counters into the rollup.
+        let st = sim.stats();
+        sim.metrics.record_sim_stats(&st);
         let skew_max = outs
             .iter()
             .map(|o| o.pause_skew.as_secs_f64())

@@ -9,6 +9,7 @@
 
 pub mod scen;
 pub mod table;
+pub mod traceio;
 
 /// Experiment ids in canonical order.
 pub const ALL_EXPERIMENTS: &[&str] = &[

@@ -26,7 +26,8 @@ use dvc_net::packet::{Packet, L4};
 use dvc_net::tcp::LocalNs;
 use dvc_net::NicId;
 use dvc_sim_core::{
-    Event, EventHandle, FaultEvent, Sim, SimDuration, SimTime, StorageEvent, TcpEvent, VmmEvent,
+    Event, EventHandle, FaultEvent, Sim, SimDuration, SimTime, SpanId, StorageEvent, TcpEvent,
+    VmmEvent,
 };
 use dvc_vmm::guest::{GuestOs, GuestProc, ProcPoll, ProcState};
 use dvc_vmm::{Vm, VmId, VmImage, VmState};
@@ -157,6 +158,19 @@ pub fn save_vm(
     vm: VmId,
     on_done: impl FnOnce(&mut Sim<ClusterWorld>, Option<VmImage>) + 'static,
 ) {
+    save_vm_in(sim, vm, SpanId::NONE, on_done)
+}
+
+/// [`save_vm`] with a parent span: the storage write is wrapped in a
+/// `storage.write` span under `parent` (the coordinator's `vmm.save` span),
+/// so a trace shows how much of each member's save was spent on the shared
+/// storage path vs. snapshotting.
+pub fn save_vm_in(
+    sim: &mut Sim<ClusterWorld>,
+    vm: VmId,
+    parent: SpanId,
+    on_done: impl FnOnce(&mut Sim<ClusterWorld>, Option<VmImage>) + 'static,
+) {
     pause_vm(sim, vm);
     let now = sim.now();
     let Some(v) = sim.world.vm_mut(vm) else {
@@ -178,7 +192,9 @@ pub fn save_vm(
     }));
     sim.emit(Event::Vmm(VmmEvent::SnapshotEnd { vm: vm.0, bytes }));
     storage::note_bytes(sim, bytes);
+    let wspan = sim.open_span("storage.write", parent, bytes);
     storage::transfer_with_retry(sim, bytes, move |sim, ok| {
+        sim.close_span(wspan);
         if let Some(v) = sim.world.vm_mut(vm) {
             if v.state == VmState::Saving {
                 v.state = VmState::Paused;

@@ -40,7 +40,7 @@ use dvc_cluster::glue;
 use dvc_cluster::node::NodeId;
 use dvc_cluster::storage;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{Event, LscEvent, Sim, SimDuration, SimTime};
+use dvc_sim_core::{Event, LscEvent, Sim, SimDuration, SimTime, SpanId};
 use dvc_vmm::{VmId, VmImage};
 use rand::Rng;
 use std::collections::HashMap;
@@ -221,6 +221,15 @@ struct CkptRun {
     save_done_at: Option<SimTime>,
     finished: bool,
     on_done: Option<DoneCb>,
+    /// Causal spans (all [`SpanId::NONE`] when no sink is attached). The
+    /// run record owns them so every code path that can end the run —
+    /// watchdogs included — can close what is still open: a child span must
+    /// never outlive the `lsc.round` root.
+    round_span: SpanId,
+    dispatch_spans: Vec<SpanId>,
+    ack_span: SpanId,
+    save_spans: Vec<SpanId>,
+    resume_span: SpanId,
 }
 
 #[derive(Default)]
@@ -280,10 +289,19 @@ pub fn checkpoint_vc(
                 save_done_at: None,
                 finished: false,
                 on_done: Some(Box::new(on_done)),
+                round_span: SpanId::NONE,
+                dispatch_spans: vec![SpanId::NONE; n],
+                ack_span: SpanId::NONE,
+                save_spans: vec![SpanId::NONE; n],
+                resume_span: SpanId::NONE,
             },
         );
         id
     };
+    let round_span = sim.open_span("lsc.round", SpanId::NONE, run_id);
+    if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+        r.round_span = round_span;
+    }
     start_attempt(sim, run_id);
     run_id
 }
@@ -298,16 +316,26 @@ fn member_hosts(sim: &Sim<ClusterWorld>, vc_id: VcId) -> Vec<(usize, VmId, NodeI
 }
 
 fn start_attempt(sim: &mut Sim<ClusterWorld>, run_id: u64) {
-    let (vc_id, method, attempt) = {
+    let (vc_id, method, attempt, round_span) = {
         let r = runs(sim).runs.get_mut(&run_id).expect("run");
         r.attempts += 1;
         r.attempt_epoch += 1;
         r.acks = 0;
         r.aborted = false;
-        (r.vc, r.method, r.attempt_epoch)
+        (r.vc, r.method, r.attempt_epoch, r.round_span)
     };
     let members = member_hosts(sim, vc_id);
     for &(i, _, _) in &members {
+        // A re-arm after an abort replaces the member's dispatch span: the
+        // stale one closes here (it covered arm → abort), the fresh one
+        // runs arm → pause.
+        let stale = {
+            let r = runs(sim).runs.get_mut(&run_id).expect("run");
+            std::mem::replace(&mut r.dispatch_spans[i], SpanId::NONE)
+        };
+        sim.close_span(stale);
+        let ds = sim.open_span("lsc.dispatch", round_span, i as u64);
+        runs(sim).runs.get_mut(&run_id).expect("run").dispatch_spans[i] = ds;
         sim.emit(Event::Lsc(LscEvent::ArmSent {
             run: run_id,
             vc: vc_id.0,
@@ -609,7 +637,7 @@ fn arm_run_watchdog(sim: &mut Sim<ClusterWorld>, run_id: u64, after: SimDuration
 /// `vm save` lands on a member: pause + snapshot + stream to storage.
 fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) {
     let now = sim.now();
-    let vc_id = {
+    let (vc_id, dispatch_span, round_span, first_fire) = {
         let Some(r) = runs(sim).runs.get_mut(&run_id) else {
             return;
         };
@@ -617,8 +645,19 @@ fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) 
             return;
         }
         r.pause_times[member] = Some(now);
-        r.vc
+        let ds = std::mem::replace(&mut r.dispatch_spans[member], SpanId::NONE);
+        (r.vc, ds, r.round_span, r.ack_span.is_none())
     };
+    sim.close_span(dispatch_span);
+    if first_fire {
+        // The ack-collection window opens at the first pause and closes when
+        // the last member's save resolves — its width is what the TCP
+        // silence budget is spent on.
+        let ack = sim.open_span("lsc.ack_collect", round_span, run_id);
+        if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+            r.ack_span = ack;
+        }
+    }
     sim.emit(Event::Lsc(LscEvent::SaveFired {
         run: run_id,
         vc: vc_id.0,
@@ -633,7 +672,11 @@ fn fire_save(sim: &mut Sim<ClusterWorld>, run_id: u64, member: usize, vm: VmId) 
         member_resolved(sim, run_id, member, None);
         return;
     }
-    glue::save_vm(sim, vm, move |sim, image| {
+    let vspan = sim.open_span("vmm.save", round_span, vm.0 as u64);
+    if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+        r.save_spans[member] = vspan;
+    }
+    glue::save_vm_in(sim, vm, vspan, move |sim, image| {
         on_save_complete(sim, run_id, member, vm, image);
     });
 }
@@ -675,7 +718,21 @@ fn on_save_complete(
                     vm: vm.0,
                     attempt: attempts,
                 }));
-                glue::save_vm(sim, vm, move |sim, image| {
+                // Each re-save is its own vmm.save span: the trace shows
+                // one save attempt per bar, not one bar hiding retries.
+                let (old, round_span) = {
+                    let r = runs(sim).runs.get_mut(&run_id).expect("run");
+                    (
+                        std::mem::replace(&mut r.save_spans[member], SpanId::NONE),
+                        r.round_span,
+                    )
+                };
+                sim.close_span(old);
+                let vspan = sim.open_span("vmm.save", round_span, vm.0 as u64);
+                if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+                    r.save_spans[member] = vspan;
+                }
+                glue::save_vm_in(sim, vm, vspan, move |sim, image| {
                     on_save_complete(sim, run_id, member, vm, image);
                 });
                 return;
@@ -697,7 +754,7 @@ fn member_resolved(
     member: usize,
     image: Option<VmImage>,
 ) {
-    let (save_phase_complete, vc_id, ok) = {
+    let (save_phase_complete, vc_id, ok, vspan) = {
         let Some(r) = runs(sim).runs.get_mut(&run_id) else {
             return;
         };
@@ -710,8 +767,10 @@ fn member_resolved(
         }
         r.images[member] = image;
         r.resolved += 1;
-        (r.resolved == r.expected, r.vc, ok)
+        let vspan = std::mem::replace(&mut r.save_spans[member], SpanId::NONE);
+        (r.resolved == r.expected, r.vc, ok, vspan)
     };
+    sim.close_span(vspan);
     sim.emit(Event::Lsc(LscEvent::SaveAcked {
         run: run_id,
         vc: vc_id.0,
@@ -725,7 +784,7 @@ fn member_resolved(
 
 fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
     let now = sim.now();
-    let (ok, method, vc_id, skew) = {
+    let (ok, method, vc_id, skew, ack_span) = {
         let r = runs(sim).runs.get_mut(&run_id).expect("run");
         r.save_done_at = Some(now);
         (
@@ -733,8 +792,10 @@ fn on_all_saves_resolved(sim: &mut Sim<ClusterWorld>, run_id: u64) {
             r.method,
             r.vc,
             skew_of(&r.pause_times),
+            std::mem::replace(&mut r.ack_span, SpanId::NONE),
         )
     };
+    sim.close_span(ack_span);
     sim.emit(Event::Lsc(LscEvent::WindowClosed {
         run: run_id,
         vc: vc_id.0,
@@ -815,10 +876,14 @@ struct LastSetId(HashMap<u64, u64>);
 
 /// Resume every member using the same coordination discipline as the save.
 fn coordinated_resume(sim: &mut Sim<ClusterWorld>, run_id: u64) {
-    let (vc_id, method) = {
+    let (vc_id, method, round_span) = {
         let r = runs(sim).runs.get(&run_id).expect("run");
-        (r.vc, r.method)
+        (r.vc, r.method, r.round_span)
     };
+    let rspan = sim.open_span("lsc.resume", round_span, run_id);
+    if let Some(r) = runs(sim).runs.get_mut(&run_id) {
+        r.resume_span = rspan;
+    }
     let members = member_hosts(sim, vc_id);
     match method {
         LscMethod::Naive => {
@@ -1013,7 +1078,7 @@ fn skew_of(times: &[Option<SimTime>]) -> SimDuration {
 
 fn finish_run(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: String) {
     let now = sim.now();
-    let (outcome, cb) = {
+    let (outcome, cb, spans) = {
         let Some(r) = runs(sim).runs.get_mut(&run_id) else {
             return;
         };
@@ -1042,12 +1107,23 @@ fn finish_run(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: S
             attempts: r.attempts,
             detail,
         };
-        (outcome, r.on_done.take())
+        // Whatever phase the run died in, its open spans close now —
+        // children first, the round root last.
+        let mut spans: Vec<SpanId> = Vec::new();
+        spans.extend(r.dispatch_spans.iter().copied());
+        spans.extend(r.save_spans.iter().copied());
+        spans.push(r.ack_span);
+        spans.push(r.resume_span);
+        spans.push(r.round_span);
+        (outcome, r.on_done.take(), spans)
     };
     if let Some(v) = vc::vc_mut(sim, outcome.vc) {
         v.state = VcState::Up;
     }
     runs(sim).runs.remove(&run_id);
+    for s in spans {
+        sim.close_span(s);
+    }
     sim.emit(Event::Lsc(LscEvent::RunFinished {
         run: run_id,
         vc: outcome.vc.0,
@@ -1103,6 +1179,11 @@ struct RestoreRun {
     resumed: usize,
     finished: bool,
     on_done: Option<RestoreCb>,
+    /// Causal spans, same ownership rule as [`CkptRun`]: the record holds
+    /// them so any terminal path can close what is still open.
+    span: SpanId,
+    stage_spans: Vec<SpanId>,
+    resume_span: SpanId,
 }
 
 #[derive(Default)]
@@ -1157,6 +1238,7 @@ pub fn restore_vc(
     }
 
     let now = sim.now();
+    let n_images = images.len();
     let run_id = {
         let rr = sim.world.ext.get_or_default::<RestoreRuns>();
         rr.next += 1;
@@ -1172,17 +1254,51 @@ pub fn restore_vc(
                 resumed: 0,
                 finished: false,
                 on_done: Some(Box::new(on_done)),
+                span: SpanId::NONE,
+                stage_spans: vec![SpanId::NONE; n_images],
+                resume_span: SpanId::NONE,
             },
         );
         id
     };
+    let root = sim.open_span("lsc.restore", SpanId::NONE, run_id);
+    if let Some(r) = sim
+        .world
+        .ext
+        .get_or_default::<RestoreRuns>()
+        .runs
+        .get_mut(&run_id)
+    {
+        r.span = root;
+    }
 
     // Stage all images (contended storage reads, retried per config),
     // verifying each checksum end-to-end before placing it paused.
     for (i, (image, target)) in images.into_iter().zip(targets).enumerate() {
         let bytes = image.size_bytes();
         storage::note_bytes(sim, bytes);
+        let sspan = sim.open_span("storage.stage", root, bytes);
+        if let Some(r) = sim
+            .world
+            .ext
+            .get_or_default::<RestoreRuns>()
+            .runs
+            .get_mut(&run_id)
+        {
+            r.stage_spans[i] = sspan;
+        }
         storage::transfer_with_retry(sim, bytes, move |sim, ok| {
+            // Take the stage span from the record (a run ended early may
+            // have closed it already — then this is NONE and a no-op).
+            let sspan = sim
+                .world
+                .ext
+                .get_or_default::<RestoreRuns>()
+                .runs
+                .get_mut(&run_id)
+                .map(|r| std::mem::replace(&mut r.stage_spans[i], SpanId::NONE))
+                .unwrap_or(SpanId::NONE);
+            sim.close_span(sspan);
             if !ok {
                 restore_failed(sim, run_id, "storage read gave up after retries".into());
                 return;
@@ -1208,7 +1324,6 @@ pub fn restore_vc(
                 r.placed += 1;
                 r.placed == r.expected
             };
-            let _ = i;
             if all_placed {
                 restore_resume_all(sim, run_id, lead);
             }
@@ -1237,6 +1352,24 @@ pub fn restore_vc_intact(
 }
 
 fn restore_resume_all(sim: &mut Sim<ClusterWorld>, run_id: u64, lead: SimDuration) {
+    let root = sim
+        .world
+        .ext
+        .get_or_default::<RestoreRuns>()
+        .runs
+        .get(&run_id)
+        .map(|r| r.span)
+        .unwrap_or(SpanId::NONE);
+    let rspan = sim.open_span("lsc.restore_resume", root, run_id);
+    if let Some(r) = sim
+        .world
+        .ext
+        .get_or_default::<RestoreRuns>()
+        .runs
+        .get_mut(&run_id)
+    {
+        r.resume_span = rspan;
+    }
     let t_fire_local = fire_instant(sim, lead);
     restore_resume_round(sim, run_id, t_fire_local, GO_REPEATS);
 }
@@ -1308,7 +1441,7 @@ fn restore_failed(sim: &mut Sim<ClusterWorld>, run_id: u64, detail: String) {
 
 fn restore_finished(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: String) {
     let now = sim.now();
-    let (outcome, cb) = {
+    let (outcome, cb, spans) = {
         let rr = sim.world.ext.get_or_default::<RestoreRuns>();
         let Some(r) = rr.runs.get_mut(&run_id) else {
             return;
@@ -1324,7 +1457,17 @@ fn restore_finished(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, det
             duration: now - r.started,
             detail,
         };
-        (outcome, r.on_done.take())
+        // Close whatever is still open, children before the restore root.
+        // Stage spans are *taken* (not just read) so an in-flight staging
+        // transfer's callback finds NONE and cannot double-close.
+        let mut spans: Vec<SpanId> = r
+            .stage_spans
+            .iter_mut()
+            .map(|s| std::mem::replace(s, SpanId::NONE))
+            .collect();
+        spans.push(std::mem::replace(&mut r.resume_span, SpanId::NONE));
+        spans.push(std::mem::replace(&mut r.span, SpanId::NONE));
+        (outcome, r.on_done.take(), spans)
     };
     if let Some(v) = vc::vc_mut(sim, outcome.vc) {
         v.state = if success { VcState::Up } else { VcState::Down };
@@ -1334,6 +1477,9 @@ fn restore_finished(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, det
         .get_or_default::<RestoreRuns>()
         .runs
         .remove(&run_id);
+    for s in spans {
+        sim.close_span(s);
+    }
     if let Some(cb) = cb {
         cb(sim, outcome);
     }

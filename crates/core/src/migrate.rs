@@ -28,7 +28,7 @@ use crate::vc::{self, VcId, VcState};
 use dvc_cluster::glue;
 use dvc_cluster::node::NodeId;
 use dvc_cluster::world::ClusterWorld;
-use dvc_sim_core::{Event, Sim, SimDuration, SimTime, VmmEvent};
+use dvc_sim_core::{Event, Sim, SimDuration, SimTime, SpanId, VmmEvent};
 use dvc_vmm::migrate::{plan_precopy, PrecopyParams};
 use dvc_vmm::VmImage;
 use std::collections::HashMap;
@@ -92,6 +92,11 @@ struct LiveRun {
     live_end: Option<SimTime>,
     #[allow(clippy::type_complexity)]
     on_done: Option<Box<dyn FnOnce(&mut Sim<ClusterWorld>, LiveMigrateOutcome)>>,
+    /// Causal spans, owned by the record (see [`crate::lsc`]): any terminal
+    /// path closes what is still open, children before the root.
+    span: SpanId,
+    precopy_span: SpanId,
+    cutover_spans: Vec<SpanId>,
 }
 
 #[derive(Default)]
@@ -156,10 +161,22 @@ pub fn live_migrate_vc(
                 started: now,
                 live_end: None,
                 on_done: Some(Box::new(on_done)),
+                span: SpanId::NONE,
+                precopy_span: SpanId::NONE,
+                cutover_spans: vec![SpanId::NONE; n],
             },
         );
         id
     };
+    let root = sim.open_span("migrate.live", SpanId::NONE, run_id);
+    let pspan = sim.open_span("migrate.precopy", root, total_bytes);
+    {
+        let lr = sim.world.ext.get_or_default::<LiveRuns>();
+        if let Some(r) = lr.runs.get_mut(&run_id) {
+            r.span = root;
+            r.precopy_span = pspan;
+        }
+    }
 
     // Phase 1: the live phase runs concurrently for all VMs (guests keep
     // executing). When the slowest finishes, schedule the coordinated
@@ -167,13 +184,18 @@ pub fn live_migrate_vc(
     sim.schedule_in(live_end, move |sim| {
         let head = sim.world.head;
         let t_fire = glue::local_now(sim, head) + cfg.cutover_lead.nanos() as i64;
-        {
+        let pspan = {
             let now = sim.now();
             let lr = sim.world.ext.get_or_default::<LiveRuns>();
-            if let Some(r) = lr.runs.get_mut(&run_id) {
-                r.live_end = Some(now);
+            match lr.runs.get_mut(&run_id) {
+                Some(r) => {
+                    r.live_end = Some(now);
+                    std::mem::replace(&mut r.precopy_span, SpanId::NONE)
+                }
+                None => SpanId::NONE,
             }
-        }
+        };
+        sim.close_span(pspan);
         for (i, &vm) in vms.iter().enumerate() {
             let Some(&host) = sim.world.vm_host.get(&vm) else {
                 finish(
@@ -216,7 +238,7 @@ fn cutover_one(
     sim.emit(Event::Vmm(VmmEvent::MigrateCutover { vm: vm.0 }));
     let now = sim.now();
     let image = sim.world.vm_mut(vm).unwrap().snapshot(now);
-    {
+    let root = {
         let lr = sim.world.ext.get_or_default::<LiveRuns>();
         let Some(r) = lr.runs.get_mut(&run_id) else {
             return;
@@ -229,11 +251,22 @@ fn cutover_one(
             r.paused_at = Some(now);
         }
         r.images[member] = Some(image);
+        r.span
+    };
+    let cspan = sim.open_span("migrate.cutover", root, vm.0 as u64);
+    if let Some(r) = sim
+        .world
+        .ext
+        .get_or_default::<LiveRuns>()
+        .runs
+        .get_mut(&run_id)
+    {
+        r.cutover_spans[member] = cspan;
     }
     // Ship the residue point-to-point (not via shared storage).
     let ship = SimDuration::from_secs_f64(residue as f64 / cfg.link_bps);
     sim.schedule_in(ship, move |sim| {
-        let all_done = {
+        let (cspan, all_done) = {
             let lr = sim.world.ext.get_or_default::<LiveRuns>();
             let Some(r) = lr.runs.get_mut(&run_id) else {
                 return;
@@ -242,8 +275,10 @@ fn cutover_one(
                 return;
             }
             r.residue_done += 1;
-            r.residue_done == r.expected
+            let c = std::mem::replace(&mut r.cutover_spans[member], SpanId::NONE);
+            (c, r.residue_done == r.expected)
         };
+        sim.close_span(cspan);
         if all_done {
             place_and_resume_all(sim, run_id);
         }
@@ -290,7 +325,7 @@ fn place_and_resume_all(sim: &mut Sim<ClusterWorld>, run_id: u64) {
 
 fn finish(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: String) {
     let now = sim.now();
-    let (outcome, cb) = {
+    let (outcome, cb, spans) = {
         let lr = sim.world.ext.get_or_default::<LiveRuns>();
         let Some(r) = lr.runs.get_mut(&run_id) else {
             return;
@@ -316,7 +351,15 @@ fn finish(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: Strin
             total_bytes: r.total_bytes,
             detail,
         };
-        (outcome, r.on_done.take())
+        // Close remaining spans, children before the migrate.live root.
+        let mut spans: Vec<SpanId> = r
+            .cutover_spans
+            .iter_mut()
+            .map(|s| std::mem::replace(s, SpanId::NONE))
+            .collect();
+        spans.push(std::mem::replace(&mut r.precopy_span, SpanId::NONE));
+        spans.push(std::mem::replace(&mut r.span, SpanId::NONE));
+        (outcome, r.on_done.take(), spans)
     };
     if let Some(v) = vc::vc_mut(sim, outcome.vc) {
         v.state = if success { VcState::Up } else { VcState::Down };
@@ -326,6 +369,9 @@ fn finish(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, detail: Strin
         .get_or_default::<LiveRuns>()
         .runs
         .remove(&run_id);
+    for s in spans {
+        sim.close_span(s);
+    }
     if let Some(cb) = cb {
         cb(sim, outcome);
     }

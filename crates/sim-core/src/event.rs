@@ -34,6 +34,26 @@ pub enum Event {
     Fault(FaultEvent),
     Ntp(NtpEvent),
     Mpi(MpiEvent),
+    Span(SpanEvent),
+}
+
+/// Causal span boundaries (see [`crate::span`]). `name` always comes from
+/// the [`crate::span::SPAN_NAMES`] registry; `parent` is 0 for roots.
+/// Emitted only via [`crate::Sim::open_span`] / [`crate::Sim::close_span`],
+/// which short-circuit to nothing when no sink is attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanEvent {
+    Open {
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        /// Span-specific payload: the member/vm index for per-node spans,
+        /// the run id for `lsc.round`, bytes for storage spans.
+        arg: u64,
+    },
+    Close {
+        id: u64,
+    },
 }
 
 /// Transport anomalies, surfaced from the per-guest TCP stacks when the
@@ -273,6 +293,10 @@ impl Event {
             Event::Mpi(e) => match e {
                 MpiEvent::JobLaunched { .. } => "mpi.job_launched",
             },
+            Event::Span(e) => match e {
+                SpanEvent::Open { .. } => "span.open",
+                SpanEvent::Close { .. } => "span.close",
+            },
         }
     }
 
@@ -469,6 +493,22 @@ impl Event {
             Event::Mpi(MpiEvent::JobLaunched { ranks }) => {
                 let _ = write!(s, ",\"ranks\":{ranks}");
             }
+            Event::Span(e) => match e {
+                SpanEvent::Open {
+                    id,
+                    parent,
+                    name,
+                    arg,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\",\"arg\":{arg}"
+                    );
+                }
+                SpanEvent::Close { id } => {
+                    let _ = write!(s, ",\"id\":{id}");
+                }
+            },
         }
         s.push('}');
         s
@@ -629,6 +669,15 @@ impl fmt::Display for Event {
             Event::Mpi(MpiEvent::JobLaunched { ranks }) => {
                 write!(f, "mpi job launched with {ranks} ranks")
             }
+            Event::Span(e) => match e {
+                SpanEvent::Open {
+                    id,
+                    parent,
+                    name,
+                    arg,
+                } => write!(f, "span {id} ({name}, arg {arg}) opened under {parent}"),
+                SpanEvent::Close { id } => write!(f, "span {id} closed"),
+            },
         }
     }
 }
@@ -761,6 +810,13 @@ mod tests {
             Event::Rm(RmEvent::JobQueued { job: 1 }),
             Event::Fault(FaultEvent::Injected { what: "x" }),
             Event::Mpi(MpiEvent::JobLaunched { ranks: 4 }),
+            Event::Span(SpanEvent::Open {
+                id: 1,
+                parent: 0,
+                name: "lsc.round",
+                arg: 1,
+            }),
+            Event::Span(SpanEvent::Close { id: 1 }),
         ] {
             assert_eq!(
                 ev.trace_category(),
@@ -790,6 +846,20 @@ mod tests {
         assert_eq!(
             nodes.jsonl(SimTime(1)),
             "{\"t\":1,\"key\":\"rm.job_started\",\"job\":9,\"nodes\":[1,2,3]}"
+        );
+        let open = Event::Span(SpanEvent::Open {
+            id: 7,
+            parent: 2,
+            name: "vmm.save",
+            arg: 3,
+        });
+        assert_eq!(
+            open.jsonl(SimTime(5)),
+            "{\"t\":5,\"key\":\"span.open\",\"id\":7,\"parent\":2,\"name\":\"vmm.save\",\"arg\":3}"
+        );
+        assert_eq!(
+            Event::Span(SpanEvent::Close { id: 7 }).jsonl(SimTime(6)),
+            "{\"t\":6,\"key\":\"span.close\",\"id\":7}"
         );
     }
 }

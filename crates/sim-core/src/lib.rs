@@ -25,24 +25,31 @@
 //! Everything above this crate (network, hypervisor, MPI, DVC itself) is
 //! expressed as state inside `W` plus events scheduled on the same queue.
 
+pub mod attrib;
 pub mod check;
 pub mod event;
 pub mod faults;
 pub mod metrics;
+pub mod perfetto;
 pub mod queue;
 pub mod rng;
 pub mod sim;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod trial;
 
+pub use attrib::{PhaseAttribution, PhaseSample, RoundRecord};
 pub use check::{CheckCounts, InvariantChecker, JsonlSink};
 pub use event::{
-    Event, FaultEvent, LscEvent, MpiEvent, NtpEvent, RmEvent, StorageEvent, TcpEvent, VmmEvent,
+    Event, FaultEvent, LscEvent, MpiEvent, NtpEvent, RmEvent, SpanEvent, StorageEvent, TcpEvent,
+    VmmEvent,
 };
 pub use faults::{FaultPlan, FaultWindow};
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
+pub use perfetto::PerfettoTrace;
 pub use rng::RngStreams;
 pub use sim::{EventHandle, EventSink, Sim, SimStats};
+pub use span::{name_from_str, SpanChecker, SpanId, SPAN_NAMES};
 pub use time::{SimDuration, SimTime};

@@ -180,14 +180,35 @@ impl Metrics {
 
     /// Record one typed event: count its key and feed its measurement.
     /// Called by [`crate::Sim::emit`]; callers do not normally use this.
+    /// Span boundaries are skipped: whether a trial had a span sink attached
+    /// must not change its metrics snapshot, or campaign rollups would
+    /// depend on which trial exported a trace.
     pub fn record(&mut self, ev: &crate::Event) {
-        if !self.enabled {
+        if !self.enabled || matches!(ev, crate::Event::Span(_)) {
             return;
         }
         self.inc(ev.key(), 1);
         if let Some((k, v)) = ev.measure() {
             self.observe(k, v);
         }
+    }
+
+    /// Fold the engine's own counters ([`crate::SimStats`]) into the
+    /// registry so queue health rolls up across a campaign: the event
+    /// totals sum, the queue high-water mark takes the per-trial max.
+    pub fn record_sim_stats(&mut self, s: &crate::SimStats) {
+        if !self.enabled {
+            return;
+        }
+        self.inc("sim.events_scheduled", s.scheduled);
+        self.inc("sim.events_executed", s.executed);
+        self.inc("sim.noop_pops", s.noop_pops);
+        let peak = self
+            .gauges
+            .get("sim.peak_queue_depth")
+            .copied()
+            .unwrap_or(0.0);
+        self.set_gauge("sim.peak_queue_depth", peak.max(s.peak_queue_depth as f64));
     }
 
     pub fn counter(&self, key: &'static str) -> u64 {

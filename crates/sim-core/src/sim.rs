@@ -16,10 +16,11 @@
 //! dispatch and the caller-side staleness lookup for every stale pop.
 //! [`Sim::stats`] exposes the no-op ratio so that flood is visible.
 
-use crate::event::Event;
+use crate::event::{Event, SpanEvent};
 use crate::metrics::Metrics;
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
+use crate::span::SpanId;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 use std::cell::RefCell;
@@ -109,6 +110,7 @@ pub struct Sim<W> {
     /// The user world: every model layer keeps its state here.
     pub world: W,
     sinks: Vec<Rc<RefCell<dyn EventSink>>>,
+    next_span: u64,
 }
 
 impl<W> Sim<W> {
@@ -123,6 +125,7 @@ impl<W> Sim<W> {
             metrics: Metrics::disabled(),
             world,
             sinks: Vec::new(),
+            next_span: 0,
         }
     }
 
@@ -157,6 +160,36 @@ impl<W> Sim<W> {
         for s in &self.sinks {
             s.borrow_mut().on_event(now, &ev);
         }
+    }
+
+    /// Open a causal span (see [`crate::span`]): allocate an id, emit a
+    /// [`SpanEvent::Open`] to the attached sinks, and return the id for the
+    /// matching [`Sim::close_span`]. With **no sink attached** this returns
+    /// [`SpanId::NONE`] without touching the id counter or emitting — the
+    /// instrumented layers cost two branches and produce a byte-identical
+    /// run, and same-seed runs with the same sinks see the same ids.
+    pub fn open_span(&mut self, name: &'static str, parent: SpanId, arg: u64) -> SpanId {
+        if self.sinks.is_empty() {
+            return SpanId::NONE;
+        }
+        self.next_span += 1;
+        let id = SpanId(self.next_span);
+        self.emit(Event::Span(SpanEvent::Open {
+            id: id.0,
+            parent: parent.0,
+            name,
+            arg,
+        }));
+        id
+    }
+
+    /// Close a span opened by [`Sim::open_span`]. Closing [`SpanId::NONE`]
+    /// (the no-sink case) is a no-op, so call sites never branch themselves.
+    pub fn close_span(&mut self, id: SpanId) {
+        if id.is_none() || self.sinks.is_empty() {
+            return;
+        }
+        self.emit(Event::Span(SpanEvent::Close { id: id.0 }));
     }
 
     /// Current simulated (true) time.

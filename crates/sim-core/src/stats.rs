@@ -161,11 +161,13 @@ impl Histogram {
         }
     }
 
-    /// Exact quantile with linear interpolation; `q` in [0, 1].
+    /// Exact quantile with linear interpolation; `q` in [0, 1]. An empty
+    /// histogram reports 0.0 (not NaN), so rollups over runs that never
+    /// exercised a phase render as zeros instead of poisoning comparisons.
     pub fn quantile(&mut self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.samples.is_empty() {
-            return f64::NAN;
+            return 0.0;
         }
         self.ensure_sorted();
         let pos = q * (self.samples.len() - 1) as f64;
@@ -195,17 +197,19 @@ impl Histogram {
         }
     }
 
+    /// Smallest sample, or 0.0 when empty (see [`Histogram::quantile`]).
     pub fn min(&mut self) -> f64 {
         if self.samples.is_empty() {
-            return f64::NAN;
+            return 0.0;
         }
         self.ensure_sorted();
         self.samples[0]
     }
 
+    /// Largest sample, or 0.0 when empty (see [`Histogram::quantile`]).
     pub fn max(&mut self) -> f64 {
         if self.samples.is_empty() {
-            return f64::NAN;
+            return 0.0;
         }
         self.ensure_sorted();
         *self.samples.last().unwrap()
@@ -311,9 +315,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_nan() {
+    fn empty_histogram_quantiles_are_zero() {
         let mut h = Histogram::new();
-        assert!(h.median().is_nan());
+        assert_eq!(h.median(), 0.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        // mean stays NaN: an undefined average is a fact, not a zero.
         assert!(h.mean().is_nan());
     }
 }
