@@ -1,0 +1,190 @@
+//! The regression corpus: shrunk reproducers checked into
+//! `crates/bench/fuzz-corpus/*.toml` and re-run forever.
+//!
+//! A case is a [`ScenarioSpec`] TOML body prefixed by a small header:
+//!
+//! ```toml
+//! name = "e13-clock-step-baseline"
+//! expect = "detection"
+//! # free-form provenance comments
+//!
+//! [scenario]
+//! ...
+//! ```
+//!
+//! `expect` records the case's contract with the oracle stack:
+//!
+//! * `"clean"` — every oracle passes and no detections occur. These cases
+//!   pin the *absence* of false positives on configurations that once
+//!   produced them (or nearly did).
+//! * `"detection"` — every oracle passes, and at least one expected
+//!   detection (a blown stored window from a non-hardened coordinator)
+//!   occurs. These pin the paper's phenomenon staying observable.
+//!
+//! Replay always runs the determinism double-check, so every corpus case
+//! is also a same-seed digest-identity test.
+
+use super::run::{run_scenario, TrialReport, Tuning};
+use super::spec::{parse_spec, ScenarioSpec};
+use std::path::{Path, PathBuf};
+
+/// The oracle contract a corpus case pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    Clean,
+    Detection,
+}
+
+impl Expectation {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Expectation::Clean => "clean",
+            Expectation::Detection => "detection",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Expectation> {
+        match s {
+            "clean" => Some(Expectation::Clean),
+            "detection" => Some(Expectation::Detection),
+            _ => None,
+        }
+    }
+}
+
+/// One checked-in reproducer.
+#[derive(Clone, Debug)]
+pub struct CorpusCase {
+    pub name: String,
+    pub expect: Expectation,
+    pub spec: ScenarioSpec,
+}
+
+impl CorpusCase {
+    /// Render the on-disk form (`note` lines become `#` comments between
+    /// the header and the scenario body).
+    pub fn to_toml(&self, notes: &[&str]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = \"{}\"\n", self.name));
+        out.push_str(&format!("expect = \"{}\"\n", self.expect.as_str()));
+        for n in notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out.push('\n');
+        out.push_str(&self.spec.to_toml());
+        out
+    }
+}
+
+/// Parse one case file.
+pub fn parse_case(text: &str) -> Result<CorpusCase, String> {
+    let parsed = parse_spec(text)?;
+    let mut name = None;
+    let mut expect = None;
+    for (k, v) in &parsed.header {
+        match k.as_str() {
+            "name" => name = Some(v.clone()),
+            "expect" => {
+                expect = Some(
+                    Expectation::parse(v)
+                        .ok_or_else(|| format!("unknown expect {v:?} (clean|detection)"))?,
+                )
+            }
+            other => return Err(format!("unknown header key {other:?}")),
+        }
+    }
+    Ok(CorpusCase {
+        name: name.ok_or("case has no `name` header")?,
+        expect: expect.ok_or("case has no `expect` header")?,
+        spec: parsed.spec,
+    })
+}
+
+/// Load every `*.toml` under `dir`, sorted by file name (deterministic
+/// replay order).
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusCase)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::new();
+    for p in paths {
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let case = parse_case(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        cases.push((p, case));
+    }
+    Ok(cases)
+}
+
+/// Re-run one case (determinism double-check included) and hold it to its
+/// `expect` contract.
+pub fn replay(case: &CorpusCase) -> Result<TrialReport, String> {
+    let tuning = Tuning {
+        budget_override: None,
+        replay_check: true,
+    };
+    let report =
+        run_scenario(&case.spec, &tuning).map_err(|e| format!("case {:?}: {e}", case.name))?;
+    if !report.is_clean() {
+        return Err(format!(
+            "case {:?}: oracle failures: {:?}",
+            case.name, report.failures
+        ));
+    }
+    match case.expect {
+        Expectation::Clean => {
+            if !report.detections.is_empty() {
+                return Err(format!(
+                    "case {:?}: expected clean, saw detections: {:?}",
+                    case.name, report.detections
+                ));
+            }
+        }
+        Expectation::Detection => {
+            if report.detections.is_empty() {
+                return Err(format!(
+                    "case {:?}: expected a blown-window detection, trial ran clean \
+                     ({} outcome(s), {} window(s) checked)",
+                    case.name, report.outcomes, report.windows_checked
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// The standard corpus directory, relative to the bench crate.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz-corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_header_round_trips() {
+        let case = CorpusCase {
+            name: "example".into(),
+            expect: Expectation::Detection,
+            spec: ScenarioSpec::default(),
+        };
+        let text = case.to_toml(&["found by dvc-fuzz --seed 9", "shrunk from 3 windows"]);
+        let back = parse_case(&text).unwrap();
+        assert_eq!(back.name, "example");
+        assert_eq!(back.expect, Expectation::Detection);
+        assert_eq!(back.spec, case.spec);
+    }
+
+    #[test]
+    fn missing_or_bad_headers_are_rejected() {
+        let body = ScenarioSpec::default().to_toml();
+        assert!(parse_case(&body).unwrap_err().contains("name"));
+        let bad = format!("name = \"x\"\nexpect = \"maybe\"\n\n{body}");
+        assert!(parse_case(&bad).unwrap_err().contains("maybe"));
+        let stray = format!("name = \"x\"\nexpect = \"clean\"\nseverity = 9\n\n{body}");
+        assert!(parse_case(&stray).unwrap_err().contains("severity"));
+    }
+}

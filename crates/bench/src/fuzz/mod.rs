@@ -1,0 +1,36 @@
+//! Deterministic simulation fuzzing — FoundationDB-style randomized
+//! scenario search over the DVC model, checked by the oracle stack the
+//! observability spine grew in PRs 1–4.
+//!
+//! The pipeline:
+//!
+//! ```text
+//! seed ──► gen::generate ──► ScenarioSpec ──► run::run_scenario ──► TrialReport
+//!                                │                                      │
+//!                                │          violation?  ──► shrink::shrink
+//!                                │                                      │
+//!                                └──────── corpus::CorpusCase ◄─────────┘
+//!                                          (TOML, replayed forever by
+//!                                           the corpus_replay test)
+//! ```
+//!
+//! * [`spec`] — the declarative [`spec::ScenarioSpec`]: topology, workload,
+//!   coordinator, fault plan. Serializes to a flat TOML dialect so a found
+//!   case is a self-contained, human-editable reproducer.
+//! * [`gen`] — seeded scenario sampling. Same `(master seed, trial index)`
+//!   ⇒ same spec, always; the campaign is embarrassingly parallel and
+//!   bit-replayable.
+//! * [`run`] — builds the world from a spec, drives the checkpoint cycles,
+//!   and renders the oracle verdicts ([`run::TrialReport`]).
+//! * [`shrink`] — greedy delta-debugging over the spec: drop fault
+//!   windows, bisect their extents, halve the topology, simplify the
+//!   workload — keeping every candidate that still reproduces the same
+//!   oracle signature.
+//! * [`corpus`] — reading/writing `fuzz-corpus/*.toml` cases and the
+//!   replay-with-expectation entry point.
+
+pub mod corpus;
+pub mod gen;
+pub mod run;
+pub mod shrink;
+pub mod spec;

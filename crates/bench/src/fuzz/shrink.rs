@@ -1,0 +1,304 @@
+//! Greedy delta-debugging over a failing [`ScenarioSpec`].
+//!
+//! A candidate is *accepted* when re-running it still trips at least one
+//! oracle from the original failure's signature (the set of oracle names
+//! that objected). Matching on the signature rather than the exact detail
+//! string keeps shrinking robust — dropping a fault window legitimately
+//! changes timestamps inside the messages — while refusing to wander onto
+//! an unrelated bug.
+//!
+//! The pass structure is classic ddmin-flavoured greedy descent, ordered
+//! by expected payoff per trial:
+//!
+//! 1. drop *everything* injectable at once (is the fault plan even needed?)
+//! 2. drop fault windows / steady rates one at a time
+//! 3. structural simplification: cycles→1, clusters→1, spares→0, halve
+//!    nodes, simplify the workload to the ring
+//! 4. bisect surviving windows (halve the duration from either end)
+//!
+//! Passes repeat until a full sweep accepts nothing or the trial budget
+//! runs out. Every accepted candidate strictly shrinks a finite measure
+//! (fault count, node count, window length), so the loop terminates.
+
+use super::run::{run_scenario, Tuning};
+use super::spec::ScenarioSpec;
+use std::collections::BTreeSet;
+
+/// What the shrinker did, and the minimized reproducer.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest accepted spec (the original if nothing shrank).
+    pub spec: ScenarioSpec,
+    /// Oracle names the original failure tripped — the signature every
+    /// accepted candidate had to keep intersecting.
+    pub signature: BTreeSet<&'static str>,
+    /// `run_scenario` calls spent.
+    pub trials: u32,
+    /// Human-readable log of accepted steps.
+    pub steps: Vec<String>,
+}
+
+fn signature_of(spec: &ScenarioSpec, tuning: &Tuning) -> BTreeSet<&'static str> {
+    match run_scenario(spec, tuning) {
+        Ok(r) => r.failures.iter().map(|f| f.oracle).collect(),
+        Err(_) => BTreeSet::new(), // invalid candidates never reproduce
+    }
+}
+
+/// Shrink `spec` (which must fail under `tuning`) to a smaller spec with
+/// an overlapping failure signature, spending at most `budget` re-runs.
+pub fn shrink(spec: &ScenarioSpec, tuning: &Tuning, budget: u32) -> ShrinkResult {
+    let mut trials = 0u32;
+    let signature = signature_of(spec, tuning);
+    trials += 1;
+    let mut best = spec.clone();
+    let mut steps = Vec::new();
+    if signature.is_empty() {
+        steps.push("original spec did not reproduce; nothing to shrink".into());
+        return ShrinkResult {
+            spec: best,
+            signature,
+            trials,
+            steps,
+        };
+    }
+
+    let mut accept = |cand: ScenarioSpec, what: &str, trials: &mut u32| -> Option<ScenarioSpec> {
+        if cand.validate().is_err() || *trials >= budget {
+            return None;
+        }
+        *trials += 1;
+        let sig = signature_of(&cand, tuning);
+        if sig.intersection(&signature).next().is_some() {
+            steps.push(format!("{what} (still fails: {sig:?})"));
+            Some(cand)
+        } else {
+            None
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: no faults at all.
+        if !best.faults.is_empty() || !best.steady.is_empty() {
+            let mut c = best.clone();
+            c.faults.clear();
+            c.steady.clear();
+            if let Some(c) = accept(c, "dropped the entire fault plan", &mut trials) {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        // Pass 2: drop windows and steady rates one at a time.
+        let mut i = 0;
+        while i < best.faults.len() {
+            let mut c = best.clone();
+            let gone = c.faults.remove(i);
+            match accept(
+                c,
+                &format!("dropped {} window #{i}", gone.kind),
+                &mut trials,
+            ) {
+                Some(c) => {
+                    best = c;
+                    progressed = true;
+                }
+                None => i += 1,
+            }
+        }
+        let mut i = 0;
+        while i < best.steady.len() {
+            let mut c = best.clone();
+            let gone = c.steady.remove(i);
+            match accept(c, &format!("dropped steady {}", gone.kind), &mut trials) {
+                Some(c) => {
+                    best = c;
+                    progressed = true;
+                }
+                None => i += 1,
+            }
+        }
+
+        // Pass 3: structural simplification.
+        if best.cycles > 1 {
+            let mut c = best.clone();
+            c.cycles = 1;
+            if let Some(c) = accept(c, "cycles -> 1", &mut trials) {
+                best = c;
+                progressed = true;
+            }
+        }
+        if best.clusters > 1 {
+            let mut c = best.clone();
+            c.clusters = 1;
+            if let Some(c) = accept(c, "clusters -> 1", &mut trials) {
+                best = c;
+                progressed = true;
+            }
+        }
+        if best.spares > 0 {
+            let mut c = best.clone();
+            c.spares = 0;
+            if let Some(c) = accept(c, "spares -> 0", &mut trials) {
+                best = c;
+                progressed = true;
+            }
+        }
+        let floor = if best.workload == "stream" { 1 } else { 2 };
+        if best.nodes / 2 >= floor {
+            let mut c = best.clone();
+            c.nodes /= 2;
+            // Drop window targets that no longer exist in the halved VC.
+            for f in &mut c.faults {
+                if let Some(t) = f.target {
+                    if t > c.nodes as u64 {
+                        f.target = Some(1);
+                    }
+                }
+            }
+            if let Some(c) = accept(c, &format!("nodes -> {}", best.nodes / 2), &mut trials) {
+                best = c;
+                progressed = true;
+            }
+        }
+        if best.workload != "ring" && best.nodes >= 2 {
+            let mut c = best.clone();
+            c.workload = "ring".into();
+            if let Some(c) = accept(c, "workload -> ring", &mut trials) {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        // Pass 4: bisect surviving windows (keep either half).
+        for i in 0..best.faults.len() {
+            let f = &best.faults[i];
+            let half = (f.until_s - f.from_s) / 2.0;
+            if half < 1.0 {
+                continue;
+            }
+            let mut front = best.clone();
+            front.faults[i].until_s = f.from_s + half;
+            let mut back = best.clone();
+            back.faults[i].from_s = f.from_s + half;
+            if let Some(c) = accept(front, &format!("halved window #{i} (front)"), &mut trials) {
+                best = c;
+                progressed = true;
+            } else if let Some(c) = accept(back, &format!("halved window #{i} (back)"), &mut trials)
+            {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        if !progressed || trials >= budget {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        spec: best,
+        signature,
+        trials,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::spec::{FaultSpec, SteadySpec};
+    use super::*;
+    use dvc_sim_core::SimDuration;
+
+    /// The acceptance-criteria drill: sabotage the silence budget so every
+    /// stored round blows the window oracle, hand the shrinker a
+    /// deliberately baroque scenario, and demand a minimal reproducer —
+    /// at most 2 fault windows left, topology and cycles reduced.
+    #[test]
+    fn sabotaged_budget_shrinks_to_a_minimal_case() {
+        let spec = ScenarioSpec {
+            seed: 77,
+            nodes: 8,
+            spares: 2,
+            clusters: 2,
+            cycles: 2,
+            method: "hardened-naive".into(),
+            settle_s: 10.0,
+            faults: vec![
+                FaultSpec {
+                    kind: "storage.brownout".into(),
+                    target: None,
+                    from_s: 1.0,
+                    until_s: 40.0,
+                    magnitude: 0.5,
+                },
+                FaultSpec {
+                    kind: "control.drop".into(),
+                    target: None,
+                    from_s: 5.0,
+                    until_s: 30.0,
+                    magnitude: 0.2,
+                },
+                FaultSpec {
+                    kind: "ntp.outage".into(),
+                    target: None,
+                    from_s: 0.0,
+                    until_s: 120.0,
+                    magnitude: 1.0,
+                },
+                FaultSpec {
+                    kind: "control.partition".into(),
+                    target: Some(3),
+                    from_s: 8.0,
+                    until_s: 12.0,
+                    magnitude: 1.0,
+                },
+            ],
+            steady: vec![SteadySpec {
+                kind: "control.drop".into(),
+                prob: 0.05,
+            }],
+            ..ScenarioSpec::default()
+        };
+        let tuning = Tuning {
+            budget_override: Some(SimDuration::from_nanos(1)),
+            replay_check: false,
+        };
+        let res = shrink(&spec, &tuning, 60);
+        assert!(
+            res.signature.contains("invariants"),
+            "sabotage must trip the window oracle: {:?}",
+            res.signature
+        );
+        assert!(
+            res.spec.faults.len() <= 2,
+            "shrinker left {} windows: {:?}\nsteps: {:#?}",
+            res.spec.faults.len(),
+            res.spec.faults,
+            res.steps
+        );
+        assert!(res.spec.steady.is_empty(), "{:?}", res.spec.steady);
+        assert!(res.spec.nodes <= 4, "nodes not reduced: {}", res.spec.nodes);
+        assert_eq!(res.spec.cycles, 1);
+        assert_eq!(res.spec.clusters, 1);
+        // The minimized spec still reproduces on its own.
+        let rerun = run_scenario(&res.spec, &tuning).unwrap();
+        assert!(!rerun.is_clean());
+    }
+
+    #[test]
+    fn clean_specs_do_not_shrink() {
+        let spec = ScenarioSpec {
+            seed: 5,
+            nodes: 2,
+            settle_s: 10.0,
+            ..ScenarioSpec::default()
+        };
+        let res = shrink(&spec, &Tuning::default(), 10);
+        assert!(res.signature.is_empty());
+        assert_eq!(res.spec, spec);
+        assert_eq!(res.trials, 1);
+    }
+}

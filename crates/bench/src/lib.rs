@@ -7,6 +7,7 @@
 //! Run everything: `cargo run --release -p dvc-bench --bin experiments -- all`
 //! Run one:        `cargo run --release -p dvc-bench --bin experiments -- e2`
 
+pub mod fuzz;
 pub mod scen;
 pub mod table;
 pub mod traceio;

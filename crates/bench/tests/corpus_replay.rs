@@ -1,0 +1,44 @@
+//! Tier-1 regression gate: every shrunk reproducer in
+//! `crates/bench/fuzz-corpus/` is re-run forever.
+//!
+//! Each case is held to its `expect` header (`clean` — all oracles green,
+//! no detections; `detection` — all oracles green AND the paper's
+//! blown-window phenomenon observed), and every replay runs the
+//! determinism double-check, so the corpus is also a standing same-seed
+//! digest-identity test across the whole model.
+
+use dvc_bench::fuzz::corpus;
+
+#[test]
+fn every_corpus_case_replays_with_its_expectation() {
+    let dir = corpus::default_dir();
+    let cases = corpus::load_dir(&dir).expect("corpus directory must load");
+    assert!(
+        cases.len() >= 3,
+        "corpus must keep at least 3 cases, found {} in {}",
+        cases.len(),
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    for (path, case) in &cases {
+        match corpus::replay(case) {
+            Ok(report) => eprintln!("{}: {}", case.name, report.summary()),
+            Err(e) => failures.push(format!("{}: {e}", path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The corpus must exercise both expectation kinds — losing the last
+/// `detection` case would silently stop pinning the paper's phenomenon.
+#[test]
+fn corpus_covers_both_expectations() {
+    let cases = corpus::load_dir(&corpus::default_dir()).unwrap();
+    let has = |e| cases.iter().any(|(_, c)| c.expect == e);
+    assert!(has(corpus::Expectation::Clean));
+    assert!(has(corpus::Expectation::Detection));
+}

@@ -9,7 +9,7 @@ use dvc_net::fabric::{Fabric, LinkParams, NetWorld, SwitchId};
 use dvc_net::packet::Packet;
 use dvc_net::tcp::TcpConfig;
 use dvc_net::NicId;
-use dvc_sim_core::{FaultPlan, Sim};
+use dvc_sim_core::{FaultPlan, Sim, SimDuration};
 use dvc_time::clock::HwClock;
 use dvc_vmm::{OverheadProfile, Vm, VmId};
 use rand::rngs::SmallRng;
@@ -86,6 +86,20 @@ pub struct WorldConfig {
     pub net_pkt_base_ns: u64,
     /// Retry policy for checkpoint storage transfers.
     pub storage_retry: StorageRetryCfg,
+}
+
+impl WorldConfig {
+    /// The guest-TCP silence budget this world's transport tolerates:
+    /// `rto_min · (2^max_data_retries − 1)` — the span of exponential
+    /// backoff a peer sits through before aborting the connection. This is
+    /// the budget the LSC window invariant is checked against
+    /// ([`dvc_sim_core::InvariantChecker`]); deriving it from the actual
+    /// TCP config matters once scenarios randomize `max_data_retries`
+    /// instead of using the default 4-retry ≈3 s constant.
+    pub fn silence_budget(&self) -> SimDuration {
+        let spread = (1u64 << self.guest_tcp.max_data_retries.min(40)) - 1;
+        SimDuration(self.guest_tcp.rto_min_ns.max(0) as u64 * spread)
+    }
 }
 
 impl Default for WorldConfig {
@@ -340,6 +354,17 @@ impl ClusterBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn silence_budget_tracks_the_retry_schedule() {
+        let mut cfg = WorldConfig::default();
+        cfg.guest_tcp.rto_min_ns = 200_000_000;
+        cfg.guest_tcp.max_data_retries = 4;
+        // 200 ms · (2^4 − 1) = 3 s — the default-world constant.
+        assert_eq!(cfg.silence_budget(), SimDuration::from_secs(3));
+        cfg.guest_tcp.max_data_retries = 6;
+        assert_eq!(cfg.silence_budget(), SimDuration::from_millis(12_600));
+    }
 
     #[test]
     fn builder_lays_out_multi_cluster_topology() {

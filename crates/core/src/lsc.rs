@@ -107,6 +107,25 @@ impl LscMethod {
         }
     }
 
+    /// Every coordinator name [`name`](Self::name) can produce, in a fixed
+    /// order — the scenario-space the fuzz generator samples from and the
+    /// corpus format validates against.
+    pub const NAMES: &'static [&'static str] = &["naive", "ntp", "hardened", "hardened-naive"];
+
+    /// Construct the default-parameterized coordinator for a serialized
+    /// method name (inverse of [`name`](Self::name) over [`Self::NAMES`]).
+    /// Declarative scenarios (fuzz corpus TOML) carry methods as strings;
+    /// an unknown name is a malformed-scenario error.
+    pub fn from_name(name: &str) -> Option<LscMethod> {
+        match name {
+            "naive" => Some(LscMethod::Naive),
+            "ntp" => Some(LscMethod::ntp_default()),
+            "hardened" => Some(LscMethod::hardened_default()),
+            "hardened-naive" => Some(LscMethod::hardened_naive_default()),
+            _ => None,
+        }
+    }
+
     /// Hardened-family coordinators verify image checksums, re-save corrupt
     /// images, and never leave a partially-paused VC behind.
     pub fn is_hardened(&self) -> bool {
@@ -1482,5 +1501,19 @@ fn restore_finished(sim: &mut Sim<ClusterWorld>, run_id: u64, success: bool, det
     }
     if let Some(cb) = cb {
         cb(sim, outcome);
+    }
+}
+
+#[cfg(test)]
+mod method_tests {
+    use super::*;
+
+    #[test]
+    fn method_names_round_trip_from_name() {
+        for n in LscMethod::NAMES {
+            let m = LscMethod::from_name(n).expect("registered name must construct");
+            assert_eq!(m.name(), *n);
+        }
+        assert!(LscMethod::from_name("chrony").is_none());
     }
 }

@@ -53,6 +53,7 @@ pub struct InvariantChecker {
     last_set: BTreeMap<u32, (u64, SimTime)>,
     down: BTreeSet<u32>,
     violations: Vec<String>,
+    window_violation_runs: Vec<u64>,
     counts: CheckCounts,
 }
 
@@ -66,6 +67,7 @@ impl InvariantChecker {
             last_set: BTreeMap::new(),
             down: BTreeSet::new(),
             violations: Vec::new(),
+            window_violation_runs: Vec::new(),
             counts: CheckCounts::default(),
         }
     }
@@ -78,6 +80,16 @@ impl InvariantChecker {
 
     pub fn violations(&self) -> &[String] {
         &self.violations
+    }
+
+    /// Run ids of the stored windows that blew the budget, in detection
+    /// order. Structured counterpart to the `lsc window` strings in
+    /// [`violations`](Self::violations) — cross-checkers (the fuzz oracle
+    /// stack compares this against the margins
+    /// [`crate::PhaseAttribution`] derives independently) should consume
+    /// this rather than parse messages.
+    pub fn window_violation_runs(&self) -> &[u64] {
+        &self.window_violation_runs
     }
 
     pub fn counts(&self) -> CheckCounts {
@@ -123,6 +135,7 @@ impl EventSink for InvariantChecker {
                         if let (Some(a), Some(b)) = (w.first_fire, w.last_fire) {
                             let spread = b - a;
                             if spread > self.budget {
+                                self.window_violation_runs.push(*run);
                                 self.violations.push(format!(
                                     "lsc window: run {run} on vc {vc} stored a set with \
                                      pause spread {spread} > budget {} ({} fires)",
@@ -265,6 +278,7 @@ mod tests {
         );
         assert_eq!(c.violations().len(), 1);
         assert!(c.violations()[0].contains("lsc window"));
+        assert_eq!(c.window_violation_runs(), &[1]);
     }
 
     #[test]

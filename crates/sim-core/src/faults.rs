@@ -33,6 +33,26 @@ use crate::time::SimTime;
 use rand::Rng;
 use std::collections::BTreeMap;
 
+/// Every fault kind the cluster layers consult (the table above). Plans
+/// built from serialized scenarios (fuzz corpus cases travel as TOML, where
+/// kinds are plain strings) map back through [`kind_from_str`] — an unknown
+/// kind in a stored scenario is a malformed-case error, not a silently
+/// inert fault.
+pub const FAULT_KINDS: &[&str] = &[
+    "storage.fail",
+    "storage.brownout",
+    "control.drop",
+    "control.partition",
+    "ntp.outage",
+    "clock.step",
+    "image.corrupt",
+];
+
+/// Map a fault kind from a serialized scenario back to its registry entry.
+pub fn kind_from_str(s: &str) -> Option<&'static str> {
+    FAULT_KINDS.iter().find(|k| **k == s).copied()
+}
+
 /// One scheduled fault window.
 #[derive(Clone, Debug)]
 pub struct FaultWindow {
@@ -296,6 +316,14 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[0].1 <= w[1].0);
         }
+    }
+
+    #[test]
+    fn every_registered_kind_round_trips() {
+        for k in FAULT_KINDS {
+            assert_eq!(kind_from_str(k), Some(*k));
+        }
+        assert_eq!(kind_from_str("node.melt"), None);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod check;
 pub mod event;
 pub mod faults;
 pub mod metrics;
+pub mod oracle;
 pub mod perfetto;
 pub mod queue;
 pub mod rng;
@@ -46,8 +47,9 @@ pub use event::{
     Event, FaultEvent, LscEvent, MpiEvent, NtpEvent, RmEvent, SpanEvent, StorageEvent, TcpEvent,
     VmmEvent,
 };
-pub use faults::{FaultPlan, FaultWindow};
+pub use faults::{kind_from_str, FaultPlan, FaultWindow, FAULT_KINDS};
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
+pub use oracle::{Oracle, OracleReport};
 pub use perfetto::PerfettoTrace;
 pub use rng::RngStreams;
 pub use sim::{EventHandle, EventSink, Sim, SimStats};

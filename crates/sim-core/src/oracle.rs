@@ -1,0 +1,129 @@
+//! The oracle layer — a uniform end-of-trial verdict over the stream
+//! checkers.
+//!
+//! PRs 1–4 grew several [`EventSink`] analyzers that each know how to
+//! detect one family of misbehavior: [`InvariantChecker`] (cross-layer
+//! invariants), [`SpanChecker`] (causal-tree well-formedness). Each exposes
+//! its own `violations()` / `report()` surface, which is fine for a
+//! hand-written experiment but awkward for a fuzzer that wants to attach
+//! *all* of them to a randomized trial and ask one question at the end:
+//! did anything object, and was the check even exercised?
+//!
+//! [`Oracle`] is that question. An oracle is an event sink with a name and
+//! an end-of-trial [`OracleReport`]: the violations it found plus a count
+//! of how many opportunities it had to find one. The count matters because
+//! a fuzzer biased toward degenerate scenarios (zero checkpoint rounds,
+//! zero spans) would otherwise report thousands of vacuously "clean"
+//! trials; see [`CheckCounts`](crate::CheckCounts) for the same idea on the
+//! invariant checker alone.
+
+use crate::check::InvariantChecker;
+use crate::sim::EventSink;
+use crate::span::SpanChecker;
+
+/// One oracle's end-of-trial verdict.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    /// Which oracle produced this (stable identifier, used by the fuzzer's
+    /// failure signatures and shrinking loop).
+    pub oracle: &'static str,
+    /// Everything the oracle objected to. Empty ⇒ clean.
+    pub violations: Vec<String>,
+    /// How many chances the oracle had to object (windows closed, spans
+    /// opened…). Zero means the trial never exercised this oracle and a
+    /// clean verdict is vacuous.
+    pub exercised: u64,
+}
+
+impl OracleReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for campaign logs.
+    pub fn summary(&self) -> String {
+        if self.violations.is_empty() {
+            format!("{}: ok ({} checked)", self.oracle, self.exercised)
+        } else {
+            format!(
+                "{}: {} violation(s) ({} checked)",
+                self.oracle,
+                self.violations.len(),
+                self.exercised
+            )
+        }
+    }
+}
+
+/// An event-sink analyzer that can render an end-of-trial verdict.
+pub trait Oracle: EventSink {
+    /// Stable identifier (used in failure signatures and shrink replays).
+    fn oracle_name(&self) -> &'static str;
+
+    fn verdict(&self) -> OracleReport;
+}
+
+impl Oracle for InvariantChecker {
+    fn oracle_name(&self) -> &'static str {
+        "invariants"
+    }
+
+    fn verdict(&self) -> OracleReport {
+        let c = self.counts();
+        OracleReport {
+            oracle: self.oracle_name(),
+            violations: self.violations().to_vec(),
+            exercised: c.windows + c.sets + c.job_starts,
+        }
+    }
+}
+
+impl Oracle for SpanChecker {
+    fn oracle_name(&self) -> &'static str {
+        "spans"
+    }
+
+    /// Structural violations plus any span still open — at trial end every
+    /// opened span must have closed (trials drain through the coordinator's
+    /// timeouts before the verdict is taken).
+    fn verdict(&self) -> OracleReport {
+        OracleReport {
+            oracle: self.oracle_name(),
+            violations: self.findings(),
+            exercised: self.opened(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, SpanEvent};
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn invariant_checker_verdict_counts_exercise() {
+        let c = InvariantChecker::new(SimDuration::from_secs(3));
+        let v = c.verdict();
+        assert_eq!(v.oracle, "invariants");
+        assert!(v.is_clean());
+        assert_eq!(v.exercised, 0, "nothing fed ⇒ vacuous");
+    }
+
+    #[test]
+    fn span_checker_verdict_includes_unclosed() {
+        let mut c = SpanChecker::new();
+        c.on_event(
+            SimTime(0),
+            &Event::Span(SpanEvent::Open {
+                id: 1,
+                parent: 0,
+                name: "lsc.round",
+                arg: 1,
+            }),
+        );
+        let v = c.verdict();
+        assert_eq!(v.violations.len(), 1, "unclosed span is a violation");
+        assert_eq!(v.exercised, 1);
+    }
+}

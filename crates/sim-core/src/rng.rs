@@ -75,8 +75,19 @@ impl RngStreams {
 
     /// Derive a fresh child seed (for spawning sub-simulations / trials).
     pub fn derive_seed(&self, label: &str, idx: u64) -> u64 {
-        splitmix64(self.master ^ fnv1a(label.as_bytes()) ^ splitmix64(idx))
+        derive_seed(self.master, label, idx)
     }
+}
+
+/// Derive a child seed from `(master, label, idx)` without materializing an
+/// [`RngStreams`]. This is the scenario-serialization contract: a fuzz
+/// trial's entire randomness is reachable from one `u64` plus string
+/// labels, so a scenario written to disk as `(seed, parameters)` replays
+/// bit-for-bit — the generator, the fault plan, and the world all re-derive
+/// their streams from the same master. Same derivation as
+/// [`RngStreams::derive_seed`].
+pub fn derive_seed(master: u64, label: &str, idx: u64) -> u64 {
+    splitmix64(master ^ fnv1a(label.as_bytes()) ^ splitmix64(idx))
 }
 
 /// Sample an exponential with the given mean (inverse-CDF method).
